@@ -1,0 +1,148 @@
+//! Ablations beyond the paper's figures: the design choices DESIGN.md
+//! calls out plus the §5.2.1 extensions (3-D meshes, tori).
+//!
+//! 1. MAX-CREDIT aggregation: sum of per-VC credits (the paper's reading)
+//!    vs best single VC.
+//! 2. LFU counting granularity: per flit vs per message header.
+//! 3. Escape/adaptive VC split under Duato's protocol (1+3, 2+2, 1+1, 1+7).
+//! 4. Random selection (Chaos-style) as an extra PSH baseline.
+//! 5. Economical storage on a 3-D mesh (27-entry tables).
+//! 6. Economical storage on a 2-D torus with the dateline escape.
+
+use lapses_bench::{with_bench_counts, Table};
+use lapses_core::psh::{CreditAggregate, LfuCounting, PathSelection};
+use lapses_core::RouterConfig;
+use lapses_network::{Pattern, SimConfig, TableKind};
+use lapses_topology::Mesh;
+
+fn transpose_at(cfg: SimConfig, load: f64) -> String {
+    with_bench_counts(cfg.with_pattern(Pattern::Transpose).with_load(load))
+        .run()
+        .latency_cell()
+}
+
+fn main() {
+    println!("== Ablations ==\n");
+
+    // 1 + 2 + 4: path-selection variants on transpose.
+    let mut psh = Table::new(&["selection", "t@0.2", "t@0.35"]);
+    for (name, kind) in [
+        ("static-xy", PathSelection::StaticXy),
+        ("random", PathSelection::Random),
+        ("max-credit(sum)", PathSelection::MaxCredit(CreditAggregate::Sum)),
+        ("max-credit(max)", PathSelection::MaxCredit(CreditAggregate::Max)),
+        ("lfu(per-flit)", PathSelection::Lfu(LfuCounting::PerFlit)),
+        ("lfu(per-msg)", PathSelection::Lfu(LfuCounting::PerMessage)),
+        ("lru", PathSelection::Lru),
+    ] {
+        psh.row(vec![
+            name.to_string(),
+            transpose_at(
+                SimConfig::paper_adaptive(16, 16).with_path_selection(kind),
+                0.2,
+            ),
+            transpose_at(
+                SimConfig::paper_adaptive(16, 16).with_path_selection(kind),
+                0.35,
+            ),
+        ]);
+    }
+    println!("-- path-selection ablations (transpose traffic) --");
+    println!("{}", psh.render());
+    psh.save_csv("ablation_psh");
+
+    // 3: escape/adaptive VC split.
+    let mut vcsplit = Table::new(&["VCs (escape+adaptive)", "t@0.2", "t@0.35"]);
+    for (total, escape) in [(4usize, 1usize), (4, 2), (2, 1), (8, 1)] {
+        let mk = || {
+            let mut cfg = SimConfig::paper_adaptive(16, 16);
+            cfg.router = RouterConfig::paper_adaptive().with_vcs(total, escape);
+            cfg
+        };
+        vcsplit.row(vec![
+            format!("{}+{}", escape, total - escape),
+            transpose_at(mk(), 0.2),
+            transpose_at(mk(), 0.35),
+        ]);
+    }
+    println!("-- escape/adaptive VC split (Duato, transpose) --");
+    println!("{}", vcsplit.render());
+    vcsplit.save_csv("ablation_vcsplit");
+
+    // 5: 3-D mesh with 27-entry economical tables.
+    let mut dims = Table::new(&["topology", "table", "uniform@0.2", "uniform@0.4"]);
+    for kind in [TableKind::Full, TableKind::Economical] {
+        let mk = |load: f64| {
+            with_bench_counts(
+                SimConfig::paper_adaptive(16, 16)
+                    .with_mesh(Mesh::mesh_3d(6, 6, 6))
+                    .with_table(kind.clone())
+                    .with_load(load),
+            )
+            .run()
+            .latency_cell()
+        };
+        dims.row(vec![
+            "6x6x6 mesh".into(),
+            kind.name().into(),
+            mk(0.2),
+            mk(0.4),
+        ]);
+    }
+
+    // 6: 2-D torus with the dateline escape (2 escape subclasses).
+    for kind in [TableKind::Full, TableKind::Economical] {
+        let mk = |load: f64| {
+            let mut cfg = SimConfig::paper_adaptive(16, 16)
+                .with_mesh(Mesh::torus_2d(8, 8))
+                .with_table(kind.clone())
+                .with_load(load);
+            // Dateline escape needs two escape subclasses.
+            cfg.router = RouterConfig::paper_adaptive().with_vcs(4, 2);
+            with_bench_counts(cfg).run().latency_cell()
+        };
+        dims.row(vec![
+            "8x8 torus".into(),
+            kind.name().into(),
+            mk(0.2),
+            mk(0.4),
+        ]);
+    }
+    println!("-- economical storage beyond 2-D meshes (uniform traffic) --");
+    println!("{}", dims.render());
+    dims.save_csv("ablation_topologies");
+
+    // 7: table-lookup latency — the hardware argument *for* economical
+    // storage. Table 5 notes full-table lookup time is "possibly high"
+    // (proportional to table size); model the 256-entry RAM as 2-cycle
+    // and the 9-entry ES as 1-cycle and compare end-to-end.
+    let mut lookup = Table::new(&["configuration", "u@0.2", "t@0.3"]);
+    let cases: [(&str, TableKind, u32, bool); 4] = [
+        ("full, 1-cycle RAM", TableKind::Full, 1, false),
+        ("full, 2-cycle RAM", TableKind::Full, 2, false),
+        ("ES,   1-cycle RAM", TableKind::Economical, 1, false),
+        ("full 2-cyc + LA", TableKind::Full, 2, true),
+    ];
+    for (name, kind, cycles, lookahead) in cases {
+        let run = |pattern: Pattern, load: f64| {
+            with_bench_counts(
+                SimConfig::paper_adaptive(16, 16)
+                    .with_table(kind.clone())
+                    .with_table_lookup_cycles(cycles)
+                    .with_lookahead(lookahead)
+                    .with_pattern(pattern)
+                    .with_load(load),
+            )
+            .run()
+            .latency_cell()
+        };
+        lookup.row(vec![
+            name.to_string(),
+            run(Pattern::Uniform, 0.2),
+            run(Pattern::Transpose, 0.3),
+        ]);
+    }
+    println!("-- table-lookup latency: slow big-table RAM vs 9-entry ES --");
+    println!("{}", lookup.render());
+    lookup.save_csv("ablation_lookup_latency");
+}

@@ -1,0 +1,92 @@
+//! Figure 5 — router performance with/without look-ahead and with/without
+//! adaptive routing, four traffic patterns on a 16×16 mesh.
+//!
+//! The paper plots, per pattern, the percentage increase in average latency
+//! of NO-LA-DET, NO-LA-ADAPT and LA-DET over the LA-ADAPT baseline, and
+//! tabulates LA-ADAPT's absolute latencies. This bench regenerates both.
+//!
+//! Expected shape (paper §3.3): LA-ADAPT wins ~12–15 % at low load over the
+//! non-look-ahead routers; on uniform traffic the deterministic routers win
+//! slightly at high load; on the three non-uniform patterns the adaptive
+//! routers win decisively at high load.
+
+use lapses_bench::{paper_loads, with_bench_counts, Table};
+use lapses_network::{Pattern, SimConfig, SimResult};
+
+fn main() {
+    let configs: [(&str, fn(u16, u16) -> SimConfig); 4] = [
+        ("NO LA, DET", SimConfig::paper_deterministic),
+        ("NO LA, ADAPT", SimConfig::paper_adaptive),
+        ("LA, DET", SimConfig::paper_deterministic_lookahead),
+        ("LA, ADAPT", SimConfig::paper_adaptive_lookahead),
+    ];
+
+    println!("== Figure 5: look-ahead x adaptivity, 16x16 mesh, 20-flit messages ==\n");
+
+    let mut absolute = Table::new(&[
+        "pattern",
+        "load",
+        "NO LA, DET",
+        "NO LA, ADAPT",
+        "LA, DET",
+        "LA, ADAPT",
+    ]);
+
+    for pattern in Pattern::PAPER_FOUR {
+        let loads = paper_loads(pattern);
+        // Sweep each router configuration (stopping at saturation).
+        let sweeps: Vec<Vec<(f64, SimResult)>> = configs
+            .iter()
+            .map(|(_, mk)| with_bench_counts(mk(16, 16).with_pattern(pattern)).sweep(loads))
+            .collect();
+
+        let mut fig = Table::new(&[
+            "load",
+            "NO-LA-DET %",
+            "NO-LA-ADAPT %",
+            "LA-DET %",
+            "LA-ADAPT (abs)",
+        ]);
+        for (i, &load) in loads.iter().enumerate() {
+            let cell = |sweep: &Vec<(f64, SimResult)>| -> Option<SimResult> {
+                sweep.get(i).map(|(_, r)| r.clone())
+            };
+            let Some(base) = cell(&sweeps[3]) else { break };
+            if base.saturated {
+                break;
+            }
+            let pct = |r: Option<SimResult>| match r {
+                Some(r) if !r.saturated => format!(
+                    "{:+.1}",
+                    (r.avg_latency - base.avg_latency) / base.avg_latency * 100.0
+                ),
+                _ => "Sat.".to_string(),
+            };
+            fig.row(vec![
+                format!("{load:.1}"),
+                pct(cell(&sweeps[0])),
+                pct(cell(&sweeps[1])),
+                pct(cell(&sweeps[2])),
+                format!("{:.1}", base.avg_latency),
+            ]);
+            absolute.row(vec![
+                pattern.name().to_string(),
+                format!("{load:.1}"),
+                cell(&sweeps[0]).map_or("-".into(), |r| r.latency_cell()),
+                cell(&sweeps[1]).map_or("-".into(), |r| r.latency_cell()),
+                cell(&sweeps[2]).map_or("-".into(), |r| r.latency_cell()),
+                base.latency_cell(),
+            ]);
+        }
+        println!(
+            "-- Fig. 5 ({}) : % latency increase over LA-ADAPT --",
+            pattern.name()
+        );
+        println!("{}", fig.render());
+        fig.save_csv(&format!("fig5_{}", pattern.name().replace('-', "_")));
+    }
+
+    println!("-- Fig. 5 companion table: absolute average latencies --");
+    println!("{}", absolute.render());
+    absolute.save_csv("fig5_absolute");
+}

@@ -1,0 +1,56 @@
+//! Figure 6 — performance of the five path-selection heuristics
+//! (STATIC-XY, MIN-MUX, LFU, LRU, MAX-CREDIT) on four traffic patterns.
+//!
+//! Expected shape (paper §4.2): static selection is fine for uniform
+//! traffic; for the three non-uniform patterns the traffic-sensitive
+//! heuristics — LRU, LFU, MAX-CREDIT (and MIN-MUX) — give substantially
+//! lower latency at medium-to-high load, with MAX-CREDIT typically between
+//! LFU and LRU.
+
+use lapses_bench::{paper_loads, with_bench_counts, Table};
+use lapses_core::psh::PathSelection;
+use lapses_network::{Pattern, SimConfig, SimResult};
+
+fn main() {
+    println!("== Figure 6: path-selection heuristics, adaptive 16x16 mesh ==\n");
+
+    for pattern in Pattern::PAPER_FOUR {
+        let loads = paper_loads(pattern);
+        let sweeps: Vec<Vec<(f64, SimResult)>> = PathSelection::paper_five()
+            .iter()
+            .map(|&psh| {
+                with_bench_counts(
+                    SimConfig::paper_adaptive(16, 16)
+                        .with_pattern(pattern)
+                        .with_path_selection(psh),
+                )
+                .sweep(loads)
+            })
+            .collect();
+
+        let mut fig = Table::new(&[
+            "load",
+            "Static-XY",
+            "Min-Mux",
+            "LFU",
+            "LRU",
+            "MAX-CREDIT",
+        ]);
+        for (i, &load) in loads.iter().enumerate() {
+            // Stop once every heuristic has saturated.
+            let cells: Vec<String> = sweeps
+                .iter()
+                .map(|s| s.get(i).map_or("-".into(), |(_, r)| r.latency_cell()))
+                .collect();
+            if cells.iter().all(|c| c == "-" || c == "Sat.") {
+                break;
+            }
+            let mut row = vec![format!("{load:.1}")];
+            row.extend(cells);
+            fig.row(row);
+        }
+        println!("-- Fig. 6 ({}) : average latency --", pattern.name());
+        println!("{}", fig.render());
+        fig.save_csv(&format!("fig6_{}", pattern.name().replace('-', "_")));
+    }
+}

@@ -1,0 +1,79 @@
+//! Table 4 — performance comparison of table-storage schemes: two-level
+//! meta-tables (the Fig. 8 maximal- and minimal-adaptivity labelings)
+//! against full-table / economical-storage routing.
+//!
+//! Expected shape (paper §5.2.2):
+//!
+//! * full-table and economical storage are **identical** (same relation,
+//!   same seed — bit-for-bit equal latencies in our simulator);
+//! * the "maximal flexibility" block labeling (Meta-Tbl Adp.) performs
+//!   *worse* than the row labeling that collapses to deterministic routing
+//!   (Meta-Tbl Det.), because adaptivity dies at cluster boundaries and
+//!   boundary links congest — the paper's counter-intuitive headline;
+//! * on non-uniform traffic the meta variants saturate far earlier than
+//!   full-table/ES.
+
+use lapses_bench::{with_bench_counts, Table};
+use lapses_network::{Pattern, SimConfig, TableKind};
+
+fn main() {
+    println!("== Table 4: table-storage scheme comparison, adaptive 16x16 mesh ==\n");
+
+    let schemes: [(&str, TableKind); 4] = [
+        ("Meta-Tbl Adp.", TableKind::MetaBlocks(vec![4, 4])),
+        ("Meta-Tbl Det.", TableKind::MetaRows),
+        ("Full-Tbl-Adp.", TableKind::Full),
+        ("Econ. Storage", TableKind::Economical),
+    ];
+
+    let cases: [(Pattern, &[f64]); 3] = [
+        (
+            Pattern::Uniform,
+            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+        ),
+        (Pattern::Transpose, &[0.1, 0.2, 0.3, 0.4, 0.5]),
+        (Pattern::BitReversal, &[0.1, 0.2, 0.3, 0.4]),
+    ];
+
+    let mut table = Table::new(&[
+        "Traffic",
+        "Load",
+        "Meta-Tbl Adp.",
+        "Meta-Tbl Det.",
+        "Full-Tbl-Adp.",
+        "Econ. Storage",
+    ]);
+
+    for (pattern, loads) in cases {
+        let sweeps: Vec<Vec<(f64, lapses_network::SimResult)>> = schemes
+            .iter()
+            .map(|(_, kind)| {
+                with_bench_counts(
+                    SimConfig::paper_adaptive(16, 16)
+                        .with_pattern(pattern)
+                        .with_table(kind.clone()),
+                )
+                .sweep(loads)
+            })
+            .collect();
+        for (i, &load) in loads.iter().enumerate() {
+            let cells: Vec<String> = sweeps
+                .iter()
+                .map(|s| s.get(i).map_or("Sat.".into(), |(_, r)| r.latency_cell()))
+                .collect();
+            if cells.iter().all(|c| c == "Sat.") {
+                break;
+            }
+            let mut row = vec![pattern.name().to_string(), format!("{load:.1}")];
+            row.extend(cells);
+            table.row(row);
+        }
+    }
+
+    println!("{}", table.render());
+    println!(
+        "(Full-Tbl-Adp. and Econ. Storage run the identical routing relation \
+         from the same seed, so their columns must match exactly — §5.2.2.)"
+    );
+    table.save_csv("table4_storage");
+}

@@ -1,0 +1,63 @@
+//! Table 5 — the relation between table-storage optimizations and router
+//! properties: entries per router, scalability, adaptivity support.
+//!
+//! Regenerated from the storage-cost model for the paper's 16×16 mesh, the
+//! Cray T3D-scale 3-D mesh the paper cites (2048 nodes: full table 2048
+//! entries vs 27 for economical storage), and a million-node 2-D mesh to
+//! show the scaling separation.
+
+use lapses_bench::Table;
+use lapses_core::tables::{scheme_comparison, SchemeCost};
+use lapses_topology::Mesh;
+
+fn print_for(mesh: &Mesh, cluster_entries: usize, label: &str) -> Table {
+    println!("-- Table 5 on {label} ({mesh}) --");
+    let rows: Vec<SchemeCost> = scheme_comparison(mesh, cluster_entries);
+    let mut table = Table::new(&[
+        "Scheme",
+        "Entries/router",
+        "Bits/router",
+        "Bits w/ LA",
+        "Size indep. of N",
+        "Adaptive",
+        "Topologies",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.scheme.to_string(),
+            r.storage.entries_per_router.to_string(),
+            r.storage.bits_per_router().to_string(),
+            r.storage.lookahead_bits_per_router().to_string(),
+            if r.size_independent_of_network { "yes" } else { "no" }.to_string(),
+            if r.supports_adaptive { "yes" } else { "no" }.to_string(),
+            r.topologies.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    table
+}
+
+fn main() {
+    println!("== Table 5: storage schemes vs router properties ==\n");
+
+    // The paper's evaluation network, with the Fig. 8 16-cluster labeling.
+    let mesh16 = Mesh::mesh_2d(16, 16);
+    let t = print_for(&mesh16, 16 + 16, "the paper's evaluation mesh");
+    t.save_csv("table5_mesh16");
+
+    // The Cray T3D example from §5.2.1: 2048-node 3-D interconnect.
+    let t3d = Mesh::mesh(&[8, 16, 16]);
+    let t = print_for(&t3d, 128 + 16, "the Cray T3D-scale 3-D mesh");
+    t.save_csv("table5_t3d");
+
+    // A large system-area network: table size is what breaks full tables.
+    let big = Mesh::mesh_2d(1024, 1024);
+    let t = print_for(&big, 1024 + 1024, "a million-node 2-D mesh");
+    t.save_csv("table5_million");
+
+    println!(
+        "Headline: economical storage needs 9 entries for any 2-D mesh and 27 \
+         for any 3-D mesh, independent of network size, with full adaptive\n\
+         routing support — full tables grow linearly with node count."
+    );
+}

@@ -1,0 +1,194 @@
+//! Messages and flits.
+//!
+//! A message is injected as a sequence of flits — a head flit carrying the
+//! routing information, body flits, and a tail flit that releases the
+//! virtual channels the message holds (wormhole switching). Under
+//! look-ahead routing the head flit additionally carries the candidate-port
+//! information for the router it is entering, pre-fetched by the previous
+//! router (§3.2, Fig. 4(b)).
+
+use crate::tables::RouteEntry;
+use lapses_sim::Cycle;
+use lapses_topology::NodeId;
+use std::fmt;
+
+/// Unique message identifier within a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Position of a flit within its message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit: carries routing information, allocates channels.
+    Head,
+    /// Middle flit: follows the path the head set up.
+    Body,
+    /// Last flit: releases channels as it passes.
+    Tail,
+    /// Single-flit message: head and tail at once.
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Whether this flit performs routing (head of a message).
+    #[inline]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Whether this flit releases channels (tail of a message).
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flow-control unit traversing the network.
+///
+/// Flits are moved by value between buffers; the head flit's
+/// [`lookahead`](Flit::lookahead) field is rewritten at each hop by
+/// look-ahead routers (the Fig. 4(b) "new header generation").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flit {
+    /// Message this flit belongs to.
+    pub msg: MessageId,
+    /// Head / body / tail role.
+    pub kind: FlitKind,
+    /// Source node of the message.
+    pub src: NodeId,
+    /// Destination node of the message.
+    pub dest: NodeId,
+    /// Flit index within the message (head = 0).
+    pub seq: u32,
+    /// Cycle the message was generated at the source (includes source
+    /// queueing time).
+    pub created_at: Cycle,
+    /// Cycle the head flit entered the source router (network latency
+    /// starts here).
+    pub injected_at: Cycle,
+    /// Whether the message falls in the measurement window.
+    pub measured: bool,
+    /// Look-ahead routing information for the router this flit is entering:
+    /// the candidate ports (and escape route) *at that router*, computed by
+    /// the previous router concurrently with its own arbitration. `None` on
+    /// body/tail flits and in non-look-ahead (PROUD) routers.
+    pub lookahead: Option<RouteEntry>,
+}
+
+impl Flit {
+    /// Builds the flits of a message, in injection order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn message(
+        msg: MessageId,
+        src: NodeId,
+        dest: NodeId,
+        length: u32,
+        created_at: Cycle,
+        measured: bool,
+    ) -> Vec<Flit> {
+        assert!(length > 0, "messages need at least one flit");
+        (0..length)
+            .map(|seq| {
+                let kind = match (seq, length) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (s, l) if s + 1 == l => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                Flit {
+                    msg,
+                    kind,
+                    src,
+                    dest,
+                    seq,
+                    created_at,
+                    injected_at: created_at,
+                    measured,
+                    lookahead: None,
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {:?} {}->{}",
+            self.msg, self.seq, self.kind, self.src, self.dest
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_flit_roles() {
+        let flits = Flit::message(
+            MessageId(1),
+            NodeId(0),
+            NodeId(5),
+            4,
+            Cycle::new(10),
+            true,
+        );
+        assert_eq!(flits.len(), 4);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Tail);
+        assert!(flits.iter().enumerate().all(|(i, f)| f.seq == i as u32));
+        assert!(flits.iter().all(|f| f.measured));
+    }
+
+    #[test]
+    fn single_flit_message_is_headtail() {
+        let flits = Flit::message(
+            MessageId(2),
+            NodeId(1),
+            NodeId(2),
+            1,
+            Cycle::ZERO,
+            false,
+        );
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert!(flits[0].kind.is_head());
+        assert!(flits[0].kind.is_tail());
+    }
+
+    #[test]
+    fn head_and_tail_predicates() {
+        assert!(FlitKind::Head.is_head());
+        assert!(!FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(!FlitKind::Tail.is_head());
+        assert!(!FlitKind::Body.is_head());
+        assert!(!FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_rejected() {
+        let _ = Flit::message(MessageId(0), NodeId(0), NodeId(1), 0, Cycle::ZERO, false);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let flits = Flit::message(MessageId(7), NodeId(3), NodeId(9), 2, Cycle::ZERO, false);
+        assert_eq!(flits[0].to_string(), "m7[0] Head n3->n9");
+    }
+}

@@ -1,0 +1,1069 @@
+//! The pipelined wormhole router (PROUD / LA-PROUD).
+//!
+//! One [`Router`] models the paper's five-stage PROUD pipe or the
+//! four-stage LA-PROUD pipe at flit granularity:
+//!
+//! ```text
+//! PROUD:     SY → TL → SA → XB → VM        (header, 5 cycles)
+//! LA-PROUD:  SY → SA(+TL next hop) → XB → VM (header, 4 cycles)
+//! body/tail: SY ············· XB → VM        (bypass path)
+//! ```
+//!
+//! * **SY** — a flit delivered by the link lands in its per-VC input
+//!   buffer ([`Router::accept_flit`]);
+//! * **TL** — the head's destination indexes the routing table
+//!   ([`crate::tables::RouterTable::entry`]); in LA-PROUD the result was
+//!   carried in the header and this stage disappears;
+//! * **SA** — path selection among available candidate ports
+//!   ([`crate::psh::PathSelector`]) plus output-VC allocation, with the
+//!   Duato escape fallback; in LA-PROUD the lookup *for the next router*
+//!   runs here concurrently and is written into the outgoing header;
+//! * **XB** — separable (input-first, then output round-robin) switch
+//!   allocation moves one flit per input port and per output port per
+//!   cycle into the output staging buffers;
+//! * **VM** — per physical channel, one staged flit with downstream
+//!   credits wins the VC multiplexor and enters the link.
+//!
+//! Flow control is credit-based: an output VC holds one credit per free
+//! slot of the downstream input buffer; popping a flit from an input buffer
+//! returns a credit upstream (with the link's one-cycle delay, handled by
+//! the network layer).
+
+use crate::arbiter::RoundRobin;
+use crate::config::RouterConfig;
+use crate::flit::Flit;
+use crate::psh::{PathSelector, PortStatus};
+use crate::tables::{RouteEntry, RouterTable};
+use lapses_sim::{Cycle, SimRng};
+use lapses_topology::{NodeId, Port};
+use std::collections::VecDeque;
+
+/// Credit sentinel for sinks that can always accept (the ejection port).
+pub const INFINITE_CREDITS: u32 = u32::MAX;
+
+/// Routing state of one input virtual channel.
+#[derive(Debug, Clone, PartialEq)]
+enum VcState {
+    /// No message being routed (buffer may still hold a queued head).
+    Idle,
+    /// Header decoded, candidates known; waiting to win selection +
+    /// VC allocation. `ready_at` gates the first allocation attempt on the
+    /// table-lookup latency (multi-cycle lookups for large table RAMs).
+    Select {
+        entry: RouteEntry,
+        ready_at: u64,
+    },
+    /// Path allocated; flits stream through the crossbar.
+    Active { out_port: Port, out_vc: u8 },
+}
+
+#[derive(Debug)]
+struct InputVc {
+    buf: VecDeque<Flit>,
+    state: VcState,
+    /// Earliest cycle the PROUD table-lookup stage may process a queued
+    /// head (blocks same-cycle lookup after the previous tail departs).
+    tl_ready_at: u64,
+}
+
+#[derive(Debug)]
+struct OutputVc {
+    /// Input VC currently holding this output VC, `(port, vc)`.
+    owner: Option<(u8, u8)>,
+    /// Free buffer slots at the downstream input VC.
+    credits: u32,
+    /// Output staging buffer (post-crossbar, pre-link).
+    staged: VecDeque<Flit>,
+}
+
+/// A flit entering a link this cycle.
+#[derive(Debug, Clone)]
+pub struct Launch {
+    /// Output port the flit leaves through.
+    pub port: Port,
+    /// Virtual channel on that port.
+    pub vc: usize,
+    /// The flit itself.
+    pub flit: Flit,
+}
+
+/// Everything a router produced during one cycle, for the network layer to
+/// deliver: launched flits, credits for upstream, and a progress flag for
+/// the watchdog.
+#[derive(Debug, Default)]
+pub struct StepOutputs {
+    /// Flits entering links (or the ejection channel) this cycle.
+    pub launches: Vec<Launch>,
+    /// Input-buffer slots freed this cycle: `(input port, vc)` pairs whose
+    /// upstream neighbor should receive a credit.
+    pub credits: Vec<(Port, usize)>,
+    /// Whether any flit moved or any allocation succeeded.
+    pub moved: bool,
+}
+
+impl StepOutputs {
+    /// Empties the buffers for reuse across routers, keeping capacity.
+    pub fn clear(&mut self) {
+        self.launches.clear();
+        self.credits.clear();
+        self.moved = false;
+    }
+}
+
+/// Aggregate router activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Flits that traversed the crossbar.
+    pub flits_switched: u64,
+    /// Headers that completed selection + VC allocation.
+    pub headers_routed: u64,
+    /// Allocations that used an adaptive-class VC.
+    pub adaptive_allocations: u64,
+    /// Allocations that fell back to the Duato escape VC.
+    pub escape_allocations: u64,
+    /// Header-cycles spent waiting in the selection stage.
+    pub selection_stall_cycles: u64,
+    /// Selections where more than one candidate port was available (the
+    /// cases where the path-selection heuristic actually decided).
+    pub multi_candidate_decisions: u64,
+}
+
+/// A cycle-accurate PROUD / LA-PROUD wormhole router.
+///
+/// The router is driven by the network layer: once per cycle it calls
+/// [`Router::step`] (stages run in reverse pipeline order so a flit
+/// advances one stage per cycle), then delivers link arrivals via
+/// [`Router::accept_flit`] and returned credits via
+/// [`Router::accept_credit`].
+pub struct Router {
+    node: NodeId,
+    ports: usize,
+    cfg: RouterConfig,
+    table: RouterTable,
+    inputs: Vec<InputVc>,
+    outputs: Vec<OutputVc>,
+    /// Per output port: VC-multiplexor arbiter over that port's VCs.
+    vm_rr: Vec<RoundRobin>,
+    /// Per input port: which of its VCs proposes a crossbar transfer.
+    xb_in_rr: Vec<RoundRobin>,
+    /// Per output port: which proposing input port wins the crossbar.
+    xb_out_rr: Vec<RoundRobin>,
+    /// Per output port: rotating pointer for output-VC allocation.
+    vc_alloc_rr: Vec<RoundRobin>,
+    selector: PathSelector,
+    rng: SimRng,
+    stats: RouterStats,
+    /// Flits currently held in input buffers (fast idle check).
+    buffered_flits: usize,
+    /// Flits currently held in output staging buffers.
+    staged_flits: usize,
+    /// Bit per input VC (flat index): set while its buffer is non-empty.
+    in_occupied: u64,
+    /// Bit per output VC (flat index): set while its staging buffer is
+    /// non-empty.
+    out_occupied: u64,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("node", &self.node)
+            .field("ports", &self.ports)
+            .field("pipeline", &self.cfg.pipeline)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// Creates a router with `ports` ports (local + directions).
+    ///
+    /// Output-VC credits start at zero; the network layer sets them to the
+    /// downstream buffer depths with [`Router::set_credits`] after wiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// ([`RouterConfig::validate`]) or `ports` is zero.
+    pub fn new(
+        node: NodeId,
+        ports: usize,
+        cfg: RouterConfig,
+        table: RouterTable,
+        rng: SimRng,
+    ) -> Router {
+        cfg.validate();
+        assert!(ports > 0, "router needs at least one port");
+        assert!(
+            ports * cfg.vcs_per_port <= 64,
+            "router exceeds the 64 (port, VC) occupancy-mask budget"
+        );
+        assert_eq!(table.node(), node, "table programmed for a different node");
+        let vcs = cfg.vcs_per_port;
+        let inputs = (0..ports * vcs)
+            .map(|_| InputVc {
+                buf: VecDeque::with_capacity(cfg.input_buffer_flits),
+                state: VcState::Idle,
+                tl_ready_at: 0,
+            })
+            .collect();
+        let outputs = (0..ports * vcs)
+            .map(|_| OutputVc {
+                owner: None,
+                credits: 0,
+                staged: VecDeque::with_capacity(cfg.output_buffer_flits),
+            })
+            .collect();
+        Router {
+            node,
+            ports,
+            selector: PathSelector::new(cfg.path_selection, ports),
+            cfg,
+            table,
+            inputs,
+            outputs,
+            vm_rr: (0..ports).map(|_| RoundRobin::new(vcs)).collect(),
+            xb_in_rr: (0..ports).map(|_| RoundRobin::new(vcs)).collect(),
+            xb_out_rr: (0..ports).map(|_| RoundRobin::new(ports)).collect(),
+            vc_alloc_rr: (0..ports).map(|_| RoundRobin::new(vcs)).collect(),
+            rng,
+            stats: RouterStats::default(),
+            buffered_flits: 0,
+            staged_flits: 0,
+            in_occupied: 0,
+            out_occupied: 0,
+        }
+    }
+
+    /// The node this router serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Sets the credit budget of output `(port, vc)` — the downstream input
+    /// buffer depth, or [`INFINITE_CREDITS`] for the ejection channel.
+    pub fn set_credits(&mut self, port: Port, vc: usize, credits: u32) {
+        let idx = self.out_idx(port, vc);
+        self.outputs[idx].credits = credits;
+    }
+
+    /// Current credits of output `(port, vc)`.
+    pub fn credits(&self, port: Port, vc: usize) -> u32 {
+        self.outputs[self.out_idx(port, vc)].credits
+    }
+
+    /// Occupancy of input buffer `(port, vc)` in flits.
+    pub fn input_occupancy(&self, port: Port, vc: usize) -> usize {
+        self.inputs[self.in_idx(port, vc)].buf.len()
+    }
+
+    /// Whether the router holds no flits at all (input or staged).
+    pub fn is_empty(&self) -> bool {
+        self.buffered_flits == 0 && self.staged_flits == 0
+    }
+
+    #[inline]
+    fn in_idx(&self, port: Port, vc: usize) -> usize {
+        debug_assert!(port.index() < self.ports && vc < self.cfg.vcs_per_port);
+        port.index() * self.cfg.vcs_per_port + vc
+    }
+
+    #[inline]
+    fn out_idx(&self, port: Port, vc: usize) -> usize {
+        debug_assert!(port.index() < self.ports && vc < self.cfg.vcs_per_port);
+        port.index() * self.cfg.vcs_per_port + vc
+    }
+
+    /// SY stage: a flit delivered by the upstream link (or injected by the
+    /// local network interface) lands in its input VC buffer.
+    ///
+    /// In LA-PROUD mode a head flit landing at the front of an idle VC is
+    /// decoded immediately: its carried candidate set arms the selection
+    /// stage for the *next* cycle, skipping the table-lookup stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer overflows (a flow-control violation — the
+    /// upstream router sent without credit) or, in LA-PROUD mode, if a head
+    /// arrives without look-ahead information.
+    pub fn accept_flit(&mut self, port: Port, vc: usize, flit: Flit, now: Cycle) {
+        let idx = self.in_idx(port, vc);
+        let ivc = &mut self.inputs[idx];
+        assert!(
+            ivc.buf.len() < self.cfg.input_buffer_flits,
+            "input buffer overflow at {} {port} vc{vc}: flow control violated",
+            self.node
+        );
+        ivc.buf.push_back(flit);
+        self.buffered_flits += 1;
+        self.in_occupied |= 1 << idx;
+        if self.cfg.pipeline.is_lookahead() {
+            self.try_lookahead_promote(idx, now);
+        }
+    }
+
+    /// Credit returned by the downstream router for output `(port, vc)`.
+    pub fn accept_credit(&mut self, port: Port, vc: usize) {
+        let idx = self.out_idx(port, vc);
+        let o = &mut self.outputs[idx];
+        if o.credits != INFINITE_CREDITS {
+            o.credits += 1;
+            debug_assert!(
+                o.credits as usize <= self.cfg.input_buffer_flits,
+                "credit overflow on {port} vc{vc}"
+            );
+        }
+    }
+
+    /// Runs one cycle: VM, XB, SA, then TL, in reverse pipeline order so a
+    /// flit advances at most one stage per cycle.
+    pub fn step(&mut self, now: Cycle) -> StepOutputs {
+        let mut out = StepOutputs::default();
+        self.step_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Router::step`] writing into a reused
+    /// buffer (cleared first). Routers holding no flits return immediately.
+    pub fn step_into(&mut self, now: Cycle, out: &mut StepOutputs) {
+        out.clear();
+        if self.buffered_flits == 0 && self.staged_flits == 0 {
+            return;
+        }
+        self.vm_stage(out);
+        self.xb_stage(now, out);
+        self.sa_stage(now, out);
+        self.tl_stage(now);
+    }
+
+    /// VM stage: per output port, one staged flit with credits enters the
+    /// link; the tail releases the output VC.
+    fn vm_stage(&mut self, out: &mut StepOutputs) {
+        if self.staged_flits == 0 {
+            return;
+        }
+        let vcs = self.cfg.vcs_per_port;
+        for p in 0..self.ports {
+            let base = p * vcs;
+            let port_mask = (self.out_occupied >> base) & ((1u64 << vcs) - 1);
+            if port_mask == 0 {
+                continue;
+            }
+            let outputs = &self.outputs;
+            let granted = self.vm_rr[p].grant(|v| {
+                port_mask & (1 << v) != 0 && outputs[base + v].credits > 0
+            });
+            if let Some(v) = granted {
+                let o = &mut self.outputs[base + v];
+                let flit = o.staged.pop_front().expect("granted VC has a flit");
+                self.staged_flits -= 1;
+                if o.staged.is_empty() {
+                    self.out_occupied &= !(1 << (base + v));
+                }
+                if o.credits != INFINITE_CREDITS {
+                    o.credits -= 1;
+                }
+                if flit.kind.is_tail() {
+                    o.owner = None;
+                }
+                out.launches.push(Launch {
+                    port: Port::from_index(p),
+                    vc: v,
+                    flit,
+                });
+                out.moved = true;
+            }
+        }
+    }
+
+    /// XB stage: separable switch allocation; winners move one flit from
+    /// their input buffer to the output staging buffer and free a credit.
+    fn xb_stage(&mut self, now: Cycle, out: &mut StepOutputs) {
+        if self.buffered_flits == 0 {
+            return;
+        }
+        let vcs = self.cfg.vcs_per_port;
+        // Input arbitration: each input port proposes one of its VCs.
+        let mut proposals = [None::<(usize, usize)>; lapses_topology::MAX_DIMS * 2 + 1];
+        let mut requested_outputs = 0u16; // bit per output port
+        for p in 0..self.ports {
+            let base = p * vcs;
+            let port_mask = (self.in_occupied >> base) & ((1u64 << vcs) - 1);
+            if port_mask == 0 {
+                continue;
+            }
+            let inputs = &self.inputs;
+            let outputs = &self.outputs;
+            let out_cap = self.cfg.output_buffer_flits;
+            let granted = self.xb_in_rr[p].grant(|v| {
+                if port_mask & (1 << v) == 0 {
+                    return false;
+                }
+                let ivc = &inputs[base + v];
+                match ivc.state {
+                    VcState::Active { out_port, out_vc } => {
+                        outputs[out_port.index() * vcs + out_vc as usize].staged.len()
+                            < out_cap
+                    }
+                    _ => false,
+                }
+            });
+            if let Some(v) = granted {
+                let VcState::Active { out_port, out_vc } = self.inputs[p * vcs + v].state else {
+                    unreachable!("granted VC is active");
+                };
+                proposals[p] = Some((v, out_port.index() * vcs + out_vc as usize));
+                requested_outputs |= 1 << out_port.index();
+            }
+        }
+        // Output arbitration: one winning input port per output port.
+        for op in 0..self.ports {
+            if requested_outputs & (1 << op) == 0 {
+                continue;
+            }
+            let winner = self.xb_out_rr[op].grant(|ip| {
+                proposals[ip].is_some_and(|(_, of)| of / vcs == op)
+            });
+            let Some(ip) = winner else { continue };
+            let (iv, of) = proposals[ip].expect("winner proposed");
+            proposals[ip] = None; // an input port sends at most one flit
+            let ivc = &mut self.inputs[ip * vcs + iv];
+            let flit = ivc.buf.pop_front().expect("proposal had a flit");
+            self.buffered_flits -= 1;
+            if ivc.buf.is_empty() {
+                self.in_occupied &= !(1 << (ip * vcs + iv));
+            }
+            out.credits.push((Port::from_index(ip), iv));
+            if flit.kind.is_tail() {
+                // The freed VC's next header is decoded by the TL phase of
+                // *this* cycle (it runs after SA), so its earliest
+                // selection attempt is next cycle — in LA-PROUD. PROUD
+                // additionally pays the table-lookup cycle, enforced by
+                // `tl_ready_at`.
+                ivc.state = VcState::Idle;
+                ivc.tl_ready_at = now.as_u64() + 1;
+            }
+            self.selector
+                .note_port_used(Port::from_index(of / vcs), now.as_u64(), flit.kind.is_head());
+            self.stats.flits_switched += 1;
+            self.outputs[of].staged.push_back(flit);
+            self.staged_flits += 1;
+            self.out_occupied |= 1 << of;
+            out.moved = true;
+        }
+    }
+
+    /// SA stage: selection + output-VC allocation for waiting headers, with
+    /// the Duato escape fallback; LA-PROUD concurrently performs the next
+    /// hop's table lookup and rewrites the header.
+    fn sa_stage(&mut self, now: Cycle, out: &mut StepOutputs) {
+        if self.buffered_flits == 0 {
+            return;
+        }
+        let vcs = self.cfg.vcs_per_port;
+        let mut occupied = self.in_occupied;
+        while occupied != 0 {
+            let idx = occupied.trailing_zeros() as usize;
+            occupied &= occupied - 1;
+            let VcState::Select { entry, ready_at } = self.inputs[idx].state else {
+                continue;
+            };
+            if now.as_u64() < ready_at {
+                continue; // table RAM still busy
+            }
+            let head = self.inputs[idx]
+                .buf
+                .front()
+                .expect("selecting VC holds its header");
+            debug_assert!(head.kind.is_head(), "selection on a non-head flit");
+            let dest = head.dest;
+
+            match self.try_allocate(&entry) {
+                Some((out_port, out_vc, used_escape)) => {
+                    self.outputs[out_port.index() * vcs + out_vc].owner =
+                        Some(((idx / vcs) as u8, (idx % vcs) as u8));
+                    let lookahead = (self.cfg.pipeline.is_lookahead() && !out_port.is_local())
+                        .then(|| self.table.lookahead_entry(out_port, dest));
+                    let head = self.inputs[idx].buf.front_mut().expect("header present");
+                    head.lookahead = lookahead;
+                    self.inputs[idx].state = VcState::Active {
+                        out_port,
+                        out_vc: out_vc as u8,
+                    };
+                    self.stats.headers_routed += 1;
+                    if used_escape {
+                        self.stats.escape_allocations += 1;
+                    } else {
+                        self.stats.adaptive_allocations += 1;
+                    }
+                    out.moved = true;
+                }
+                None => {
+                    self.stats.selection_stall_cycles += 1;
+                }
+            }
+            let _ = now;
+        }
+    }
+
+    /// Tries to reserve an output VC for a header with the given route
+    /// entry: adaptive candidates first (through the path-selection
+    /// heuristic when several ports are available), then the escape VC of
+    /// the entry's dateline subclass. Returns `(port, vc, used_escape)`.
+    fn try_allocate(&mut self, entry: &RouteEntry) -> Option<(Port, usize, bool)> {
+        let vcs = self.cfg.vcs_per_port;
+
+        // Destination reached: any free VC on the local exit port.
+        if entry.is_local() {
+            let outputs = &self.outputs;
+            let local = Port::LOCAL.index() * vcs;
+            let v = self.vc_alloc_rr[Port::LOCAL.index()]
+                .grant(|v| outputs[local + v].owner.is_none())?;
+            return Some((Port::LOCAL, v, false));
+        }
+
+        // Adaptive pass: candidate ports with a free adaptive-class VC.
+        let adaptive = self.cfg.adaptive_vcs();
+        let mut avail = [Port::LOCAL; lapses_topology::MAX_DIMS * 2 + 1];
+        let mut n_avail = 0;
+        for p in entry.candidates.iter() {
+            let base = p.index() * vcs;
+            let has_free = adaptive
+                .clone()
+                .any(|v| self.outputs[base + v].owner.is_none());
+            if has_free {
+                avail[n_avail] = p;
+                n_avail += 1;
+            }
+        }
+        if n_avail > 0 {
+            let chosen = if n_avail == 1 {
+                avail[0]
+            } else {
+                self.stats.multi_candidate_decisions += 1;
+                // Snapshot port statuses first to keep the borrow checker
+                // (and the hardware analogy: status registers are latched
+                // before the selection mux).
+                let mut statuses = [PortStatus::default(); lapses_topology::MAX_DIMS * 2 + 1];
+                for (i, p) in avail[..n_avail].iter().enumerate() {
+                    statuses[i] = self.port_status(*p);
+                }
+                let avail = &avail[..n_avail];
+                self.selector.select(
+                    avail,
+                    |p| {
+                        let i = avail.iter().position(|q| *q == p).expect("candidate");
+                        statuses[i]
+                    },
+                    &mut self.rng,
+                )
+            };
+            let base = chosen.index() * vcs;
+            let outputs = &self.outputs;
+            let adaptive = self.cfg.adaptive_vcs();
+            let v = self.vc_alloc_rr[chosen.index()]
+                .grant(|v| adaptive.contains(&v) && outputs[base + v].owner.is_none())
+                .expect("an adaptive VC was free");
+            return Some((chosen, v, false));
+        }
+
+        // Escape pass (Duato's protocol): the deterministic escape route's
+        // escape-class VC of the right dateline subclass.
+        if self.cfg.escape_vcs > 0 {
+            let escape = entry.escape?;
+            let sub = entry.escape_subclass as usize % self.cfg.escape_subclasses;
+            let base = escape.index() * vcs;
+            for v in self.cfg.escape_vcs_for_subclass(sub) {
+                if self.outputs[base + v].owner.is_none() {
+                    return Some((escape, v, true));
+                }
+            }
+        }
+        None
+    }
+
+    /// Live status of an output port for the path-selection heuristics.
+    fn port_status(&self, port: Port) -> PortStatus {
+        let vcs = self.cfg.vcs_per_port;
+        let base = port.index() * vcs;
+        let mut status = PortStatus::default();
+        for v in 0..vcs {
+            let o = &self.outputs[base + v];
+            if o.owner.is_some() {
+                status.active_vcs += 1;
+            }
+            let credits = if o.credits == INFINITE_CREDITS {
+                self.cfg.input_buffer_flits as u32
+            } else {
+                o.credits
+            };
+            status.credits_sum = status.credits_sum.saturating_add(credits);
+            status.credits_max = status.credits_max.max(credits);
+        }
+        status
+    }
+
+    /// TL stage. PROUD: decode + table lookup for idle VCs whose queued
+    /// header reached the buffer front (one cycle). LA-PROUD: safety-net
+    /// promotion only — heads are normally promoted at delivery or when
+    /// the previous tail departs, at zero cycle cost.
+    fn tl_stage(&mut self, now: Cycle) {
+        if self.buffered_flits == 0 {
+            return;
+        }
+        if self.cfg.pipeline.is_lookahead() {
+            let mut occupied = self.in_occupied;
+            while occupied != 0 {
+                let idx = occupied.trailing_zeros() as usize;
+                occupied &= occupied - 1;
+                self.try_lookahead_promote(idx, now);
+            }
+            return;
+        }
+        let mut occupied = self.in_occupied;
+        while occupied != 0 {
+            let idx = occupied.trailing_zeros() as usize;
+            occupied &= occupied - 1;
+            let ivc = &self.inputs[idx];
+            if ivc.state != VcState::Idle || now.as_u64() < ivc.tl_ready_at {
+                continue;
+            }
+            let Some(front) = ivc.buf.front() else {
+                continue;
+            };
+            if !front.kind.is_head() {
+                continue;
+            }
+            let entry = self.table.entry(front.dest);
+            // The k-cycle lookup starting now completes at now + k; the
+            // selection stage may fire from that cycle on (k = 1 recovers
+            // the classic one-cycle TL stage).
+            let ready_at = now.as_u64() + self.cfg.table_lookup_cycles as u64;
+            self.inputs[idx].state = VcState::Select { entry, ready_at };
+        }
+    }
+
+    /// LA-PROUD: if input VC `idx` is idle with a header at the buffer
+    /// front, arm the selection stage from the header's carried candidate
+    /// information (the look-ahead decode, costing no pipeline stage).
+    fn try_lookahead_promote(&mut self, idx: usize, now: Cycle) {
+        let ivc = &self.inputs[idx];
+        if ivc.state != VcState::Idle {
+            return;
+        }
+        let Some(front) = ivc.buf.front() else {
+            return;
+        };
+        if !front.kind.is_head() {
+            return;
+        }
+        let entry = front.lookahead.unwrap_or_else(|| {
+            panic!(
+                "LA-PROUD header {} arrived at {} without look-ahead info",
+                front, self.node
+            )
+        });
+        debug_assert_eq!(
+            (entry.candidates, entry.escape),
+            {
+                let direct = self.table.entry(front.dest);
+                (direct.candidates, direct.escape)
+            },
+            "carried look-ahead disagrees with a direct lookup at {}",
+            self.node
+        );
+        // The candidates are already decoded; what can stall departure is
+        // the *concurrent next-hop lookup*: the outgoing header is complete
+        // k cycles after selection starts, so allocation may finish at
+        // now + k (k = 1 recovers the zero-overhead look-ahead pipeline).
+        self.inputs[idx].state = VcState::Select {
+            entry,
+            ready_at: now.as_u64() + self.cfg.table_lookup_cycles as u64,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, MessageId};
+    use crate::psh::PathSelection;
+    use crate::tables::{FullTable, TableScheme};
+    use lapses_routing::DuatoAdaptive;
+    use lapses_topology::{Direction, Mesh};
+    use std::sync::Arc;
+
+    /// 1-D four-node mesh: node 1 routes +d0 toward node 3.
+    fn line_router(cfg: RouterConfig) -> Router {
+        let mesh = Mesh::mesh(&[4]);
+        let program: Arc<dyn TableScheme> =
+            Arc::new(FullTable::program(&mesh, &DuatoAdaptive::new()));
+        let node = NodeId(1);
+        let mut r = Router::new(
+            node,
+            mesh.ports_per_router(),
+            cfg,
+            RouterTable::new(program, node),
+            SimRng::from_seed(1),
+        );
+        // Give every direction port full credits and the local port
+        // infinite credits.
+        for p in 0..r.ports() {
+            for v in 0..r.config().vcs_per_port {
+                let port = Port::from_index(p);
+                let credits = if port.is_local() {
+                    INFINITE_CREDITS
+                } else {
+                    20
+                };
+                r.set_credits(port, v, credits);
+            }
+        }
+        r
+    }
+
+    fn message(dest: u32, len: u32) -> Vec<Flit> {
+        Flit::message(
+            MessageId(1),
+            NodeId(0),
+            NodeId(dest),
+            len,
+            Cycle::ZERO,
+            true,
+        )
+    }
+
+    fn with_lookahead(mut flits: Vec<Flit>, router: &Router) -> Vec<Flit> {
+        let entry = router.table.entry(flits[0].dest);
+        flits[0].lookahead = Some(entry);
+        flits
+    }
+
+    /// Runs cycles `from..=to`, returning every launch with its cycle.
+    fn run(router: &mut Router, from: u64, to: u64) -> Vec<(u64, Launch)> {
+        let mut all = Vec::new();
+        for t in from..=to {
+            let out = router.step(Cycle::new(t));
+            for l in out.launches {
+                all.push((t, l));
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn proud_header_launches_after_five_stages() {
+        let mut r = line_router(RouterConfig::paper_adaptive());
+        let flits = message(3, 1);
+        // SY at cycle 0.
+        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        let launches = run(&mut r, 1, 10);
+        assert_eq!(launches.len(), 1);
+        let (t, l) = &launches[0];
+        // TL=1, SA=2, XB=3, VM=4.
+        assert_eq!(*t, 4, "PROUD header must launch at cycle 4");
+        assert_eq!(l.port, Port::from(Direction::plus(0)));
+    }
+
+    #[test]
+    fn la_proud_header_saves_one_cycle() {
+        let mut r = line_router(RouterConfig::paper_adaptive().with_lookahead(true));
+        let flits = with_lookahead(message(3, 1), &r);
+        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        let launches = run(&mut r, 1, 10);
+        assert_eq!(launches.len(), 1);
+        // SA=1, XB=2, VM=3.
+        assert_eq!(launches[0].0, 3, "LA-PROUD header must launch at cycle 3");
+    }
+
+    #[test]
+    fn body_flits_stream_one_per_cycle() {
+        let mut r = line_router(RouterConfig::paper_adaptive());
+        let flits = message(3, 4);
+        for (i, f) in flits.iter().enumerate() {
+            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::new(i as u64));
+        }
+        let launches = run(&mut r, 1, 12);
+        let times: Vec<u64> = launches.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![4, 5, 6, 7]);
+        let seqs: Vec<u32> = launches.iter().map(|(_, l)| l.flit.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "flits must stay in order");
+    }
+
+    #[test]
+    fn tail_releases_input_and_output_vcs() {
+        let mut r = line_router(RouterConfig::paper_adaptive());
+        let flits = message(3, 2);
+        for f in &flits {
+            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+        }
+        let launches = run(&mut r, 1, 10);
+        assert_eq!(launches.len(), 2);
+        // After the tail leaves, every output VC is free again.
+        let px = Port::from(Direction::plus(0));
+        for v in 0..4 {
+            assert!(r.outputs[r.out_idx(px, v)].owner.is_none());
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.stats().headers_routed, 1);
+    }
+
+    #[test]
+    fn credits_gate_the_vc_mux() {
+        let mut r = line_router(RouterConfig::paper_adaptive());
+        // Only one credit on every VC of +d0.
+        let px = Port::from(Direction::plus(0));
+        for v in 0..4 {
+            r.set_credits(px, v, 1);
+        }
+        let flits = message(3, 3);
+        for f in &flits {
+            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+        }
+        let launches = run(&mut r, 1, 10);
+        assert_eq!(launches.len(), 1, "only one credit, only one launch");
+        // Returning a credit releases the next flit.
+        let vc = launches[0].1.vc;
+        r.accept_credit(px, vc);
+        let more = run(&mut r, 11, 13);
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].1.flit.seq, 1);
+    }
+
+    #[test]
+    fn escape_fallback_when_adaptive_vcs_busy() {
+        // 2 VCs: vc0 escape, vc1 adaptive. Two messages to the same
+        // destination: the second must fall back to the escape VC.
+        let cfg = RouterConfig::paper_adaptive().with_vcs(2, 1);
+        let mut r = line_router(cfg);
+        let m1 = message(3, 10); // long enough to hold its VC
+        let mut m2 = message(3, 10);
+        for f in &mut m2 {
+            f.msg = MessageId(2);
+        }
+        for f in &m1 {
+            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+        }
+        for f in &m2 {
+            r.accept_flit(Port::LOCAL, 1, f.clone(), Cycle::ZERO);
+        }
+        let _ = run(&mut r, 1, 6);
+        let s = r.stats();
+        assert_eq!(s.adaptive_allocations, 1);
+        assert_eq!(s.escape_allocations, 1);
+        // The escape allocation went to vc0 of +d0.
+        let px = Port::from(Direction::plus(0));
+        assert!(r.outputs[r.out_idx(px, 0)].owner.is_some());
+        assert!(r.outputs[r.out_idx(px, 1)].owner.is_some());
+    }
+
+    #[test]
+    fn header_blocks_when_no_vc_available() {
+        // 1 VC, no escape: a second message waits for the first tail.
+        let cfg = RouterConfig {
+            vcs_per_port: 1,
+            escape_vcs: 0,
+            ..RouterConfig::paper_adaptive()
+        };
+        let mut r = line_router(cfg);
+        let m1 = message(3, 2);
+        let mut m2 = message(3, 2);
+        for f in &mut m2 {
+            f.msg = MessageId(2);
+        }
+        // Two messages on the same input VC, back to back.
+        for f in m1.iter().chain(&m2) {
+            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+        }
+        let launches = run(&mut r, 1, 20);
+        assert_eq!(launches.len(), 4);
+        // Second header allocates only after the first tail freed the VC.
+        assert!(r.stats().selection_stall_cycles > 0 || launches[2].0 > launches[1].0);
+        let msgs: Vec<u64> = launches.iter().map(|(_, l)| l.flit.msg.0).collect();
+        assert_eq!(msgs, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn local_destination_ejects() {
+        let mut r = line_router(RouterConfig::paper_adaptive());
+        let flits = message(1, 2); // dest == router node
+        let minus = Port::from(Direction::minus(0));
+        for f in &flits {
+            r.accept_flit(minus, 0, f.clone(), Cycle::ZERO);
+        }
+        let launches = run(&mut r, 1, 10);
+        assert_eq!(launches.len(), 2);
+        assert!(launches.iter().all(|(_, l)| l.port.is_local()));
+    }
+
+    #[test]
+    fn lookahead_header_is_rewritten_per_hop() {
+        let mut r = line_router(RouterConfig::paper_adaptive().with_lookahead(true));
+        let flits = with_lookahead(message(3, 1), &r);
+        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        let launches = run(&mut r, 1, 6);
+        let out = &launches[0].1.flit;
+        // The launched header carries node 2's entry for destination 3.
+        let carried = out.lookahead.expect("LA header keeps look-ahead info");
+        let mesh = Mesh::mesh(&[4]);
+        let program = FullTable::program(&mesh, &DuatoAdaptive::new());
+        assert_eq!(carried, program.entry(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn proud_headers_do_not_carry_lookahead() {
+        let mut r = line_router(RouterConfig::paper_adaptive());
+        let flits = message(3, 1);
+        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        let launches = run(&mut r, 1, 6);
+        assert!(launches[0].1.flit.lookahead.is_none());
+    }
+
+    #[test]
+    fn credits_are_emitted_when_buffer_slots_free() {
+        let mut r = line_router(RouterConfig::paper_adaptive());
+        let flits = message(3, 2);
+        for f in &flits {
+            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+        }
+        let mut credited = 0;
+        for t in 1..=8 {
+            credited += r.step(Cycle::new(t)).credits.len();
+        }
+        assert_eq!(credited, 2, "each buffered flit frees one slot");
+    }
+
+    #[test]
+    fn queued_message_pays_tl_in_proud_but_not_la() {
+        // Two messages back-to-back on one input VC; measure the gap
+        // between the first tail's launch and the second header's launch.
+        let gap_for = |cfg: RouterConfig| {
+            let lookahead = cfg.pipeline.is_lookahead();
+            let mut r = line_router(cfg);
+            let m1 = message(3, 2);
+            let mut m2 = message(3, 2);
+            for f in &mut m2 {
+                f.msg = MessageId(2);
+                if lookahead && f.kind.is_head() {
+                    f.lookahead = Some(r.table.entry(f.dest));
+                }
+            }
+            let m1 = if lookahead {
+                with_lookahead(m1, &r)
+            } else {
+                m1
+            };
+            for f in m1.iter().chain(&m2) {
+                r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+            }
+            let launches = run(&mut r, 1, 24);
+            assert_eq!(launches.len(), 4);
+            launches[2].0 - launches[1].0
+        };
+        let proud = gap_for(RouterConfig::paper_adaptive());
+        let la = gap_for(RouterConfig::paper_adaptive().with_lookahead(true));
+        assert_eq!(
+            proud,
+            la + 1,
+            "LA-PROUD must save exactly the table-lookup cycle"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "flow control violated")]
+    fn buffer_overflow_is_detected() {
+        let cfg = RouterConfig {
+            input_buffer_flits: 2,
+            ..RouterConfig::paper_adaptive()
+        };
+        let mut r = line_router(cfg);
+        let flits = message(3, 3);
+        for f in &flits {
+            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+        }
+    }
+
+    #[test]
+    fn multi_candidate_selection_is_counted() {
+        // 2-D mesh, quadrant destination: two candidates available.
+        let mesh = Mesh::mesh_2d(4, 4);
+        let program: Arc<dyn TableScheme> =
+            Arc::new(FullTable::program(&mesh, &DuatoAdaptive::new()));
+        let node = mesh.id_at(&[1, 1]).unwrap();
+        let mut r = Router::new(
+            node,
+            mesh.ports_per_router(),
+            RouterConfig::paper_adaptive().with_path_selection(PathSelection::Lru),
+            RouterTable::new(program, node),
+            SimRng::from_seed(3),
+        );
+        for p in 0..r.ports() {
+            for v in 0..4 {
+                r.set_credits(Port::from_index(p), v, 20);
+            }
+        }
+        let dest = mesh.id_at(&[3, 3]).unwrap();
+        let flits = Flit::message(MessageId(9), NodeId(0), dest, 1, Cycle::ZERO, true);
+        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        let launches = run(&mut r, 1, 6);
+        assert_eq!(launches.len(), 1);
+        assert_eq!(r.stats().multi_candidate_decisions, 1);
+        assert!(!launches[0].1.port.is_local());
+    }
+
+    #[test]
+    fn flit_kinds_traverse_intact() {
+        let mut r = line_router(RouterConfig::paper_adaptive());
+        let flits = message(3, 3);
+        for f in &flits {
+            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+        }
+        let launches = run(&mut r, 1, 10);
+        let kinds: Vec<FlitKind> = launches.iter().map(|(_, l)| l.flit.kind).collect();
+        assert_eq!(kinds, vec![FlitKind::Head, FlitKind::Body, FlitKind::Tail]);
+    }
+
+    #[test]
+    fn slow_table_ram_stretches_the_proud_pipeline() {
+        // A 2-cycle lookup adds exactly one cycle to the header path.
+        let mut r = line_router(RouterConfig::paper_adaptive().with_table_lookup_cycles(2));
+        let flits = message(3, 1);
+        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        let launches = run(&mut r, 1, 10);
+        assert_eq!(launches.len(), 1);
+        // Baseline PROUD launches at 4; with k=2 at 5.
+        assert_eq!(launches[0].0, 5);
+    }
+
+    #[test]
+    fn slow_table_ram_also_delays_lookahead_headers() {
+        // In LA-PROUD the concurrent next-hop lookup gates departure once
+        // it exceeds the arbitration cycle: k=2 adds one cycle over the
+        // baseline launch at 3.
+        let mut r = line_router(
+            RouterConfig::paper_adaptive()
+                .with_lookahead(true)
+                .with_table_lookup_cycles(2),
+        );
+        let flits = with_lookahead(message(3, 1), &r);
+        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        let launches = run(&mut r, 1, 10);
+        assert_eq!(launches.len(), 1);
+        assert_eq!(launches[0].0, 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! Storage-cost accounting for the Table 5 comparison.
+
+use lapses_topology::Mesh;
+use std::fmt;
+
+/// Hardware storage cost of one router's routing table.
+///
+/// The paper compares schemes by *entries per router* (Table 5); this type
+/// additionally estimates bits, assuming each entry stores up to `n`
+/// candidate ports (minimal routing in an n-dimensional mesh offers at most
+/// `n` choices), one escape-port field, and one dateline-subclass bit:
+///
+/// ```text
+/// bits/entry = (n + 1) · ⌈log2(ports)⌉ + 1
+/// ```
+///
+/// Look-ahead routing additionally stores, for each of the up-to-`n`
+/// candidate ports, the *neighbor's* candidate set (§3.2), multiplying the
+/// candidate storage by `1 + n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageCost {
+    /// Number of table entries in one router.
+    pub entries_per_router: usize,
+    /// Estimated bits per entry (without look-ahead).
+    pub bits_per_entry: u32,
+    /// Estimated bits per entry with look-ahead extensions.
+    pub lookahead_bits_per_entry: u32,
+}
+
+impl StorageCost {
+    /// Cost of a scheme with `entries` entries per router on `mesh`.
+    pub fn for_scheme(mesh: &Mesh, entries: usize) -> StorageCost {
+        let ports = mesh.ports_per_router() as u32;
+        let port_bits = 32 - (ports - 1).leading_zeros(); // ceil(log2(ports))
+        let n = mesh.dims() as u32;
+        let candidate_bits = n * port_bits;
+        let base = candidate_bits + port_bits + 1;
+        StorageCost {
+            entries_per_router: entries,
+            bits_per_entry: base,
+            lookahead_bits_per_entry: base + n * candidate_bits,
+        }
+    }
+
+    /// Total bits for one router's table.
+    pub fn bits_per_router(&self) -> u64 {
+        self.entries_per_router as u64 * self.bits_per_entry as u64
+    }
+
+    /// Total bits for one router's table with look-ahead support.
+    pub fn lookahead_bits_per_router(&self) -> u64 {
+        self.entries_per_router as u64 * self.lookahead_bits_per_entry as u64
+    }
+}
+
+impl fmt::Display for StorageCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} entries ({} bits, {} bits with look-ahead)",
+            self.entries_per_router,
+            self.bits_per_router(),
+            self.lookahead_bits_per_router()
+        )
+    }
+}
+
+/// One row of the Table 5 scheme comparison.
+#[derive(Debug, Clone)]
+pub struct SchemeCost {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Storage per router.
+    pub storage: StorageCost,
+    /// Whether table size is independent of network size.
+    pub size_independent_of_network: bool,
+    /// Whether the scheme supports adaptive routing directly.
+    pub supports_adaptive: bool,
+    /// Topology generality, quoting the paper's Table 5 wording.
+    pub topologies: &'static str,
+}
+
+/// Builds the Table 5 comparison for a topology: entries per router and
+/// qualitative properties of the four schemes.
+///
+/// `cluster_entries` is the meta-table entry count (`N/m + m` for an
+/// `m`-cluster two-level labeling).
+pub fn scheme_comparison(mesh: &Mesh, cluster_entries: usize) -> Vec<SchemeCost> {
+    let n = mesh.node_count();
+    vec![
+        SchemeCost {
+            scheme: "full",
+            storage: StorageCost::for_scheme(mesh, n),
+            size_independent_of_network: false,
+            supports_adaptive: true,
+            topologies: "arbitrary",
+        },
+        SchemeCost {
+            scheme: "meta",
+            storage: StorageCost::for_scheme(mesh, cluster_entries),
+            size_independent_of_network: false,
+            supports_adaptive: true, // limited, as Table 4 shows
+            topologies: "fairly arbitrary",
+        },
+        SchemeCost {
+            scheme: "interval",
+            storage: StorageCost::for_scheme(mesh, mesh.ports_per_router()),
+            size_independent_of_network: true,
+            supports_adaptive: false,
+            topologies: "arbitrary",
+        },
+        SchemeCost {
+            scheme: "economical",
+            storage: StorageCost::for_scheme(mesh, 3usize.pow(mesh.dims() as u32)),
+            size_independent_of_network: true,
+            supports_adaptive: true,
+            topologies: "meshes, tori, irregular",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_entry_counts() {
+        let mesh = Mesh::mesh_2d(16, 16);
+        let rows = scheme_comparison(&mesh, 16 + 16);
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.scheme == n)
+                .unwrap()
+                .storage
+                .entries_per_router
+        };
+        assert_eq!(by_name("full"), 256);
+        assert_eq!(by_name("meta"), 32);
+        assert_eq!(by_name("interval"), 5);
+        assert_eq!(by_name("economical"), 9);
+    }
+
+    #[test]
+    fn t3d_example_from_the_paper() {
+        // "the 2048 node 3-D interconnect in Cray T3D uses a 2048 entry
+        // routing table, which could be reduced to a 27 entry table".
+        let mesh = Mesh::mesh(&[8, 16, 16]);
+        assert_eq!(mesh.node_count(), 2048);
+        let rows = scheme_comparison(&mesh, 0);
+        let econ = rows.iter().find(|r| r.scheme == "economical").unwrap();
+        assert_eq!(econ.storage.entries_per_router, 27);
+        let full = rows.iter().find(|r| r.scheme == "full").unwrap();
+        assert_eq!(full.storage.entries_per_router, 2048);
+    }
+
+    #[test]
+    fn bit_estimates_scale_with_ports() {
+        let m2 = Mesh::mesh_2d(16, 16); // 5 ports -> 3 bits/port
+        let c = StorageCost::for_scheme(&m2, 9);
+        assert_eq!(c.bits_per_entry, 2 * 3 + 3 + 1);
+        assert_eq!(c.bits_per_router(), 9 * 10);
+        // Look-ahead adds n * candidate_bits = 2 * 6 = 12 bits/entry.
+        assert_eq!(c.lookahead_bits_per_entry, 10 + 12);
+
+        let m3 = Mesh::mesh_3d(4, 4, 4); // 7 ports -> 3 bits/port
+        let c3 = StorageCost::for_scheme(&m3, 27);
+        assert_eq!(c3.bits_per_entry, 3 * 3 + 3 + 1);
+    }
+
+    #[test]
+    fn economical_is_smallest_adaptive_scheme() {
+        let mesh = Mesh::mesh_2d(16, 16);
+        let rows = scheme_comparison(&mesh, 32);
+        let adaptive: Vec<_> = rows.iter().filter(|r| r.supports_adaptive).collect();
+        let econ = adaptive
+            .iter()
+            .min_by_key(|r| r.storage.entries_per_router)
+            .unwrap();
+        assert_eq!(econ.scheme, "economical");
+    }
+
+    #[test]
+    fn display_mentions_lookahead() {
+        let c = StorageCost::for_scheme(&Mesh::mesh_2d(4, 4), 9);
+        assert!(c.to_string().contains("look-ahead"));
+    }
+}

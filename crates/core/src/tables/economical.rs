@@ -1,0 +1,276 @@
+//! Economical-storage routing tables — the paper's §5.2 proposal.
+
+use crate::tables::cost::StorageCost;
+use crate::tables::{RouteEntry, TableScheme};
+use lapses_routing::{torus_dateline_subclass, RoutingAlgorithm};
+use lapses_topology::{Mesh, NodeId, Sign, SignVec};
+
+/// The 3ⁿ-entry economical-storage (ES) routing table.
+///
+/// Instead of indexing by destination address, the router computes the
+/// per-dimension **sign** of the destination-relative coordinates
+/// (`s_x = sign(d_x - i_x)`, `s_y = sign(d_y - i_y)`, …) with two
+/// comparators and a node-id register, and uses the sign vector to index a
+/// table of only `3ⁿ` entries — **9** for 2-D meshes and **27** for 3-D,
+/// independent of network size (§5.2.1).
+///
+/// Because "all the popular adaptive mesh routing algorithms use network
+/// symmetry and source-relative directions", the candidate set of such an
+/// algorithm is a function of the sign vector alone, so the ES table loses
+/// *no* routing flexibility relative to a full table (§5.2.2) — a claim the
+/// test-suite verifies exhaustively and by property test.
+///
+/// On a torus the sign is computed from the minimal wrap-aware direction
+/// (preferring `+` on an exactly-half-way tie) and the escape dateline
+/// subclass is recomputed positionally by the same comparator hardware —
+/// the §5.2.1 "minimal path routing in n-dimensional tori" extension.
+///
+/// # Example
+///
+/// ```
+/// use lapses_core::tables::{EconomicalTable, TableScheme};
+/// use lapses_routing::DuatoAdaptive;
+/// use lapses_topology::Mesh;
+///
+/// let mesh = Mesh::mesh_2d(16, 16);
+/// let table = EconomicalTable::program(&mesh, &DuatoAdaptive::new());
+/// assert_eq!(table.storage().entries_per_router, 9); // not 256!
+/// ```
+#[derive(Debug)]
+pub struct EconomicalTable {
+    mesh: Mesh,
+    /// `entries[node][sign_index]`; 3ⁿ entries per node.
+    entries: Vec<Vec<RouteEntry>>,
+}
+
+impl EconomicalTable {
+    /// Compiles the per-router sign-indexed tables from a routing algorithm.
+    ///
+    /// Each router's entry for a sign vector is programmed from any
+    /// destination realizing that sign from the router (they all agree for
+    /// source-relative algorithms — verified with debug assertions).
+    /// Sign combinations unrealizable at a router (e.g. `(-,·)` at the
+    /// left edge of a mesh) stay [`RouteEntry::unprogrammed`].
+    pub fn program(mesh: &Mesh, algo: &dyn RoutingAlgorithm) -> EconomicalTable {
+        let dims = mesh.dims();
+        let table_len = SignVec::table_len(dims);
+        let mut entries = vec![vec![RouteEntry::unprogrammed(); table_len]; mesh.node_count()];
+
+        for node in mesh.nodes() {
+            let row = &mut entries[node.index()];
+            let mut programmed = vec![false; table_len];
+            for dest in mesh.nodes() {
+                let sv = relative_sign(mesh, node, dest);
+                let idx = sv.table_index();
+                let entry = if node == dest {
+                    RouteEntry::local()
+                } else {
+                    let mut candidates = algo.candidates(mesh, node, dest);
+                    if mesh.is_torus() {
+                        // At an exactly-half-way torus tie both directions
+                        // are minimal, but a sign can encode only one; keep
+                        // the sign-consistent direction (the slight
+                        // adaptivity loss of the sign encoding).
+                        candidates = candidates
+                            .iter()
+                            .filter(|p| {
+                                let d = p.direction().expect("network port");
+                                sv.sign(d.dim()) == d.sign()
+                            })
+                            .collect();
+                    }
+                    RouteEntry {
+                        candidates,
+                        escape: algo.escape_port(mesh, node, dest),
+                        // The stored subclass is for the mesh case; torus
+                        // lookups recompute it positionally in `entry()`.
+                        escape_subclass: 0,
+                    }
+                };
+                if programmed[idx] {
+                    debug_assert_eq!(
+                        (row[idx].candidates, row[idx].escape),
+                        (entry.candidates, entry.escape),
+                        "algorithm {} is not source-relative: sign {sv} at {node} \
+                         maps to different entries",
+                        algo.name()
+                    );
+                } else {
+                    row[idx] = entry;
+                    programmed[idx] = true;
+                }
+            }
+        }
+
+        EconomicalTable {
+            mesh: mesh.clone(),
+            entries,
+        }
+    }
+}
+
+/// The wrap-aware relative sign: per dimension, the minimal direction of
+/// travel toward `dest` (preferring `+` on a torus half-way tie), or zero
+/// when aligned. On a mesh this is the plain coordinate-difference sign of
+/// §5.2.1.
+pub fn relative_sign(mesh: &Mesh, node: NodeId, dest: NodeId) -> SignVec {
+    let h = mesh.coord_of(node);
+    let d = mesh.coord_of(dest);
+    let mut signs = [Sign::Zero; lapses_topology::MAX_DIMS];
+    for (dim, s) in signs.iter_mut().enumerate().take(mesh.dims()) {
+        *s = if !mesh.is_torus() {
+            Sign::of(d[dim] as i32 - h[dim] as i32)
+        } else {
+            let k = mesh.extent(dim) as i32;
+            let fwd = (d[dim] as i32 - h[dim] as i32).rem_euclid(k);
+            if fwd == 0 {
+                Sign::Zero
+            } else if fwd <= k - fwd {
+                Sign::Plus // prefer + on the exactly-half tie
+            } else {
+                Sign::Minus
+            }
+        };
+    }
+    SignVec::from_signs(&signs[..mesh.dims()])
+}
+
+impl TableScheme for EconomicalTable {
+    fn name(&self) -> &'static str {
+        "economical"
+    }
+
+    fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    fn entry(&self, node: NodeId, dest: NodeId) -> RouteEntry {
+        let sv = relative_sign(&self.mesh, node, dest);
+        let mut e = self.entries[node.index()][sv.table_index()];
+        if self.mesh.is_torus() {
+            e.escape_subclass =
+                torus_dateline_subclass(&self.mesh, node, dest, e.escape) as u8;
+        }
+        e
+    }
+
+    fn storage(&self) -> StorageCost {
+        StorageCost::for_scheme(&self.mesh, SignVec::table_len(self.mesh.dims()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::FullTable;
+    use lapses_routing::{DimensionOrder, DuatoAdaptive, TurnModel, TurnModelKind};
+
+    /// §5.2.2's headline claim: "performance of full-table routing and
+    /// economical storage routing are identical" because the entries agree
+    /// for every (router, destination) pair.
+    fn assert_equivalent(mesh: &Mesh, algo: &dyn RoutingAlgorithm) {
+        let full = FullTable::program(mesh, algo);
+        let econ = EconomicalTable::program(mesh, algo);
+        for node in mesh.nodes() {
+            for dest in mesh.nodes() {
+                let f = full.entry(node, dest);
+                let e = econ.entry(node, dest);
+                assert_eq!(
+                    (f.candidates, f.escape),
+                    (e.candidates, e.escape),
+                    "{} differs from full table at {node}->{dest}",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_to_full_table_for_duato() {
+        assert_equivalent(&Mesh::mesh_2d(8, 8), &DuatoAdaptive::new());
+    }
+
+    #[test]
+    fn equivalent_to_full_table_for_xy() {
+        assert_equivalent(&Mesh::mesh_2d(8, 8), &DimensionOrder::new());
+    }
+
+    #[test]
+    fn equivalent_to_full_table_for_north_last() {
+        assert_equivalent(&Mesh::mesh_2d(8, 8), &TurnModel::new(TurnModelKind::NorthLast));
+    }
+
+    #[test]
+    fn equivalent_on_3d_mesh() {
+        assert_equivalent(&Mesh::mesh_3d(4, 4, 4), &DuatoAdaptive::new());
+    }
+
+    #[test]
+    fn nine_entries_for_2d_27_for_3d() {
+        let t2 = EconomicalTable::program(&Mesh::mesh_2d(16, 16), &DuatoAdaptive::new());
+        assert_eq!(t2.storage().entries_per_router, 9);
+        let t3 = EconomicalTable::program(&Mesh::mesh_3d(4, 4, 4), &DuatoAdaptive::new());
+        assert_eq!(t3.storage().entries_per_router, 27);
+    }
+
+    #[test]
+    fn torus_lookup_recomputes_dateline_subclass() {
+        let torus = Mesh::torus_2d(8, 8);
+        let algo = DuatoAdaptive::new();
+        let econ = EconomicalTable::program(&torus, &algo);
+        let full = FullTable::program(&torus, &algo);
+        for node in torus.nodes() {
+            for dest in torus.nodes() {
+                let f = full.entry(node, dest);
+                let e = econ.entry(node, dest);
+                // Candidate sets may differ only at half-way ties (the sign
+                // table prefers +); escapes and subclasses must agree there
+                // too because the escape picks + on ties as well.
+                assert_eq!(f.escape, e.escape, "{node}->{dest}");
+                assert_eq!(f.escape_subclass, e.escape_subclass, "{node}->{dest}");
+                assert!(
+                    e.candidates.is_subset(f.candidates),
+                    "ES candidates exceed minimal set at {node}->{dest}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_routers_have_unprogrammed_impossible_signs() {
+        let mesh = Mesh::mesh_2d(4, 4);
+        let econ = EconomicalTable::program(&mesh, &DuatoAdaptive::new());
+        // Origin router can never see a (-, -) destination; that entry
+        // stays unprogrammed. Look it up through the raw storage.
+        let sv = SignVec::from_signs(&[Sign::Minus, Sign::Minus]);
+        let origin = mesh.id_at(&[0, 0]).unwrap();
+        assert_eq!(
+            econ.entries[origin.index()][sv.table_index()],
+            RouteEntry::unprogrammed()
+        );
+    }
+
+    #[test]
+    fn relative_sign_on_mesh_matches_signvec() {
+        let mesh = Mesh::mesh_2d(8, 8);
+        for node in mesh.nodes().step_by(5) {
+            for dest in mesh.nodes().step_by(3) {
+                let direct =
+                    SignVec::between(&mesh.coord_of(node), &mesh.coord_of(dest));
+                assert_eq!(relative_sign(&mesh, node, dest), direct);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_sign_on_torus_points_the_short_way() {
+        let torus = Mesh::torus_2d(8, 8);
+        let a = torus.id_at(&[1, 0]).unwrap();
+        let b = torus.id_at(&[7, 0]).unwrap();
+        // Short way from 1 to 7 is backwards (2 hops) not forward (6).
+        assert_eq!(relative_sign(&torus, a, b).sign(0), Sign::Minus);
+        // Half-way tie prefers +.
+        let c = torus.id_at(&[5, 0]).unwrap();
+        assert_eq!(relative_sign(&torus, a, c).sign(0), Sign::Plus);
+    }
+}

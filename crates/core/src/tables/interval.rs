@@ -1,0 +1,211 @@
+//! Interval routing — §5.1.2, for the Table 5 comparison.
+
+use crate::tables::cost::StorageCost;
+use crate::tables::{RouteEntry, TableScheme};
+use lapses_topology::{Direction, Mesh, NodeId, Port, PortSet};
+
+/// Interval (universal) routing: each output port is labeled with one
+/// contiguous interval of destination identifiers, so the table has only
+/// as many entries as the router has ports — the smallest possible size,
+/// used by the Transputer C-104 switch.
+///
+/// The catch, per the paper: it "is not readily receptive to adaptive
+/// routing" and needs a compatible node labeling. With the mesh's row-major
+/// labels, *Y-then-X* dimension-order routing partitions destinations into
+/// one interval per port (all lower rows, all higher rows, left in row,
+/// right in row, self), which is what this program compiles.
+///
+/// # Example
+///
+/// ```
+/// use lapses_core::tables::{IntervalTable, TableScheme};
+/// use lapses_topology::Mesh;
+///
+/// let mesh = Mesh::mesh_2d(16, 16);
+/// let table = IntervalTable::program(&mesh);
+/// assert_eq!(table.storage().entries_per_router, 5); // one per port
+/// ```
+#[derive(Debug)]
+pub struct IntervalTable {
+    mesh: Mesh,
+    /// `intervals[node][port_index]` — half-open id interval `[lo, hi)`.
+    intervals: Vec<Vec<Option<(u32, u32)>>>,
+}
+
+impl IntervalTable {
+    /// Compiles interval labels for Y-then-X dimension-order routing on a
+    /// row-major-labeled mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics on tori (wrap-around breaks interval contiguity under this
+    /// labeling) and — defensively — if the computed destination sets are
+    /// not contiguous, which would indicate an incompatible labeling.
+    pub fn program(mesh: &Mesh) -> IntervalTable {
+        assert!(
+            !mesh.is_torus(),
+            "interval routing here supports meshes only"
+        );
+        let ports = mesh.ports_per_router();
+        let mut intervals = Vec::with_capacity(mesh.node_count());
+        for node in mesh.nodes() {
+            // Gather each port's destination set under YX routing.
+            let mut sets: Vec<Vec<u32>> = vec![Vec::new(); ports];
+            for dest in mesh.nodes() {
+                let port = yx_port(mesh, node, dest);
+                sets[port.index()].push(dest.0);
+            }
+            let row: Vec<Option<(u32, u32)>> = sets
+                .into_iter()
+                .enumerate()
+                .map(|(pi, ids)| {
+                    if ids.is_empty() {
+                        return None;
+                    }
+                    let lo = *ids.first().expect("non-empty");
+                    let hi = *ids.last().expect("non-empty") + 1;
+                    assert_eq!(
+                        (hi - lo) as usize,
+                        ids.len(),
+                        "port {pi} of {node} has a non-contiguous destination set"
+                    );
+                    Some((lo, hi))
+                })
+                .collect();
+            intervals.push(row);
+        }
+        IntervalTable {
+            mesh: mesh.clone(),
+            intervals,
+        }
+    }
+}
+
+/// Y-then-X (highest dimension first) dimension-order port choice; the
+/// local port at the destination.
+fn yx_port(mesh: &Mesh, node: NodeId, dest: NodeId) -> Port {
+    let h = mesh.coord_of(node);
+    let d = mesh.coord_of(dest);
+    for dim in (0..mesh.dims()).rev() {
+        if d[dim] > h[dim] {
+            return Port::from(Direction::plus(dim));
+        }
+        if d[dim] < h[dim] {
+            return Port::from(Direction::minus(dim));
+        }
+    }
+    Port::LOCAL
+}
+
+impl TableScheme for IntervalTable {
+    fn name(&self) -> &'static str {
+        "interval"
+    }
+
+    fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    fn entry(&self, node: NodeId, dest: NodeId) -> RouteEntry {
+        if node == dest {
+            return RouteEntry::local();
+        }
+        for (pi, iv) in self.intervals[node.index()].iter().enumerate() {
+            if let Some((lo, hi)) = iv {
+                if (*lo..*hi).contains(&dest.0) {
+                    let port = Port::from_index(pi);
+                    if port.is_local() {
+                        return RouteEntry::local();
+                    }
+                    return RouteEntry {
+                        candidates: PortSet::single(port),
+                        escape: Some(port),
+                        escape_subclass: 0,
+                    };
+                }
+            }
+        }
+        unreachable!("interval labeling does not cover {dest} at {node}")
+    }
+
+    fn storage(&self) -> StorageCost {
+        StorageCost::for_scheme(&self.mesh, self.mesh.ports_per_router())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_destination_is_covered_once() {
+        let mesh = Mesh::mesh_2d(8, 8);
+        let table = IntervalTable::program(&mesh);
+        for node in mesh.nodes() {
+            for dest in mesh.nodes() {
+                let e = table.entry(node, dest);
+                assert_eq!(e.candidates.len(), 1);
+                if node == dest {
+                    assert!(e.is_local());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_minimal_and_reach_destination() {
+        let mesh = Mesh::mesh_2d(6, 6);
+        let table = IntervalTable::program(&mesh);
+        for src in mesh.nodes() {
+            for dest in mesh.nodes() {
+                // Walk the route.
+                let mut at = src;
+                let mut hops = 0;
+                loop {
+                    let e = table.entry(at, dest);
+                    let p = e.candidates.first().unwrap();
+                    if p.is_local() {
+                        break;
+                    }
+                    at = mesh.neighbor(at, p.direction().unwrap()).unwrap();
+                    hops += 1;
+                    assert!(hops <= mesh.distance(src, dest), "non-minimal walk");
+                }
+                assert_eq!(at, dest);
+                assert_eq!(hops, mesh.distance(src, dest));
+            }
+        }
+    }
+
+    #[test]
+    fn y_ports_hold_whole_row_blocks() {
+        let mesh = Mesh::mesh_2d(16, 16);
+        let table = IntervalTable::program(&mesh);
+        let node = mesh.id_at(&[5, 5]).unwrap();
+        let minus_y = Port::from(Direction::minus(1));
+        // All of rows 0..5 (ids 0..80) route -Y.
+        assert_eq!(
+            table.intervals[node.index()][minus_y.index()],
+            Some((0, 80))
+        );
+        let plus_y = Port::from(Direction::plus(1));
+        assert_eq!(
+            table.intervals[node.index()][plus_y.index()],
+            Some((96, 256))
+        );
+    }
+
+    #[test]
+    fn table_size_is_port_count() {
+        let mesh = Mesh::mesh_3d(4, 4, 4);
+        let table = IntervalTable::program(&mesh);
+        assert_eq!(table.storage().entries_per_router, 7);
+        assert_eq!(table.name(), "interval");
+    }
+
+    #[test]
+    #[should_panic(expected = "meshes only")]
+    fn torus_rejected() {
+        let _ = IntervalTable::program(&Mesh::torus_2d(4, 4));
+    }
+}

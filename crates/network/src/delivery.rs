@@ -1,0 +1,192 @@
+//! Link and credit-return transport with fixed delays.
+
+use lapses_core::Flit;
+use lapses_sim::Cycle;
+use lapses_topology::{NodeId, Port};
+use std::collections::VecDeque;
+
+/// A flit in flight toward a router input (or a NIC ejection buffer).
+#[derive(Debug)]
+pub(crate) struct FlitDelivery {
+    pub node: NodeId,
+    /// Input port at the receiving router; the local port means ejection
+    /// into the NIC.
+    pub port: Port,
+    pub vc: usize,
+    pub flit: Flit,
+}
+
+/// A credit in flight back toward an upstream router output (or the NIC's
+/// injection credit pool when `port` is the local port).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CreditDelivery {
+    pub node: NodeId,
+    pub port: Port,
+    pub vc: usize,
+}
+
+/// Fixed-latency pipelines for flits and credits.
+///
+/// Implemented as per-cycle buckets in a ring: scheduling is O(1) and each
+/// cycle's arrivals pop out in FIFO order, which keeps simulation results
+/// independent of router iteration order.
+#[derive(Debug)]
+pub(crate) struct DeliveryQueues {
+    flit_delay: u64,
+    credit_delay: u64,
+    /// `flits[t % ring]` holds flits arriving at cycle `t`.
+    flits: Vec<VecDeque<FlitDelivery>>,
+    credits: Vec<VecDeque<CreditDelivery>>,
+    in_flight_flits: usize,
+}
+
+impl DeliveryQueues {
+    /// Creates queues with the given one-way delays in cycles (the paper's
+    /// link delay is 1; credits also take one cycle back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either delay is zero (same-cycle delivery would break the
+    /// stage ordering).
+    pub fn new(flit_delay: u64, credit_delay: u64) -> DeliveryQueues {
+        assert!(flit_delay >= 1, "links need at least one cycle of delay");
+        assert!(credit_delay >= 1, "credits need at least one cycle of delay");
+        DeliveryQueues {
+            flit_delay,
+            credit_delay,
+            flits: (0..=flit_delay).map(|_| VecDeque::new()).collect(),
+            credits: (0..=credit_delay).map(|_| VecDeque::new()).collect(),
+            in_flight_flits: 0,
+        }
+    }
+
+    /// Schedules a flit launched during `now` to arrive `flit_delay` later.
+    pub fn send_flit(&mut self, now: Cycle, delivery: FlitDelivery) {
+        let slot = ((now.as_u64() + self.flit_delay) % self.flits.len() as u64) as usize;
+        self.flits[slot].push_back(delivery);
+        self.in_flight_flits += 1;
+    }
+
+    /// Schedules a credit emitted during `now`.
+    pub fn send_credit(&mut self, now: Cycle, delivery: CreditDelivery) {
+        let slot = ((now.as_u64() + self.credit_delay) % self.credits.len() as u64) as usize;
+        self.credits[slot].push_back(delivery);
+    }
+
+    /// Removes and returns the flits arriving at `now`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn take_flits(&mut self, now: Cycle) -> VecDeque<FlitDelivery> {
+        let slot = (now.as_u64() % self.flits.len() as u64) as usize;
+        let out = std::mem::take(&mut self.flits[slot]);
+        self.in_flight_flits -= out.len();
+        out
+    }
+
+    /// Drains the flits arriving at `now` into `out` (keeps capacity).
+    pub fn drain_flits_into(&mut self, now: Cycle, out: &mut Vec<FlitDelivery>) {
+        let slot = (now.as_u64() % self.flits.len() as u64) as usize;
+        self.in_flight_flits -= self.flits[slot].len();
+        out.extend(self.flits[slot].drain(..));
+    }
+
+    /// Removes and returns the credits arriving at `now`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn take_credits(&mut self, now: Cycle) -> VecDeque<CreditDelivery> {
+        let slot = (now.as_u64() % self.credits.len() as u64) as usize;
+        std::mem::take(&mut self.credits[slot])
+    }
+
+    /// Drains the credits arriving at `now` into `out` (keeps capacity).
+    pub fn drain_credits_into(&mut self, now: Cycle, out: &mut Vec<CreditDelivery>) {
+        let slot = (now.as_u64() % self.credits.len() as u64) as usize;
+        out.extend(self.credits[slot].drain(..));
+    }
+
+    /// Flits currently on the wire.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight_flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lapses_core::{Flit, MessageId};
+
+    fn flit() -> Flit {
+        Flit::message(MessageId(1), NodeId(0), NodeId(1), 1, Cycle::ZERO, false)
+            .pop()
+            .expect("one flit")
+    }
+
+    #[test]
+    fn flits_arrive_after_the_link_delay() {
+        let mut q = DeliveryQueues::new(1, 1);
+        q.send_flit(
+            Cycle::new(5),
+            FlitDelivery {
+                node: NodeId(2),
+                port: Port::LOCAL,
+                vc: 0,
+                flit: flit(),
+            },
+        );
+        assert_eq!(q.in_flight(), 1);
+        assert!(q.take_flits(Cycle::new(5)).is_empty());
+        let arrived = q.take_flits(Cycle::new(6));
+        assert_eq!(arrived.len(), 1);
+        assert_eq!(arrived[0].node, NodeId(2));
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn longer_delays_are_honored() {
+        let mut q = DeliveryQueues::new(3, 2);
+        q.send_flit(
+            Cycle::new(10),
+            FlitDelivery {
+                node: NodeId(0),
+                port: Port::LOCAL,
+                vc: 1,
+                flit: flit(),
+            },
+        );
+        q.send_credit(
+            Cycle::new(10),
+            CreditDelivery {
+                node: NodeId(0),
+                port: Port::LOCAL,
+                vc: 1,
+            },
+        );
+        assert!(q.take_flits(Cycle::new(12)).is_empty());
+        assert_eq!(q.take_flits(Cycle::new(13)).len(), 1);
+        assert!(q.take_credits(Cycle::new(11)).is_empty());
+        assert_eq!(q.take_credits(Cycle::new(12)).len(), 1);
+    }
+
+    #[test]
+    fn same_cycle_deliveries_keep_fifo_order() {
+        let mut q = DeliveryQueues::new(1, 1);
+        for vc in 0..3 {
+            q.send_flit(
+                Cycle::new(0),
+                FlitDelivery {
+                    node: NodeId(0),
+                    port: Port::LOCAL,
+                    vc,
+                    flit: flit(),
+                },
+            );
+        }
+        let arrived = q.take_flits(Cycle::new(1));
+        let vcs: Vec<usize> = arrived.iter().map(|d| d.vc).collect();
+        assert_eq!(vcs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_delay_rejected() {
+        let _ = DeliveryQueues::new(0, 1);
+    }
+}

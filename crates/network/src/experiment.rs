@@ -1,0 +1,586 @@
+//! High-level experiment configuration and the measurement loop.
+//!
+//! [`SimConfig`] describes one simulation point the way the paper's Table 2
+//! does — topology, router model, routing algorithm, table scheme, traffic
+//! pattern, normalized load, message length, and the warm-up/measurement
+//! protocol — and [`SimConfig::run`] executes it: inject warm-up messages,
+//! sample the measurement window, drain, and cut the run off if the
+//! offered load exceeds saturation (reported like the paper's "Sat.").
+
+use crate::network::Network;
+use crate::stats::SimResult;
+use lapses_core::psh::PathSelection;
+use lapses_core::tables::{EconomicalTable, FullTable, IntervalTable, MetaTable};
+use lapses_core::{RouterConfig, TableScheme};
+use lapses_routing::{
+    DimensionOrder, DuatoAdaptive, RoutingAlgorithm, TurnModel, TurnModelKind,
+};
+use lapses_sim::{Cycle, MeasurementPhase, PhaseController, ProgressWatchdog, SimRng};
+use lapses_topology::{Mesh, NodeId};
+use lapses_traffic::arrivals::Exponential;
+use lapses_traffic::patterns;
+use lapses_traffic::{Generator, LengthDistribution, TrafficPattern};
+use std::sync::Arc;
+
+/// Routing algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Deterministic dimension-order (XY) routing — the paper's `DET`.
+    DimensionOrder,
+    /// Duato's minimal fully-adaptive routing — the paper's `ADAPT`.
+    Duato,
+    /// North-Last partially-adaptive turn-model routing.
+    NorthLast,
+    /// West-First partially-adaptive turn-model routing.
+    WestFirst,
+    /// Negative-First partially-adaptive turn-model routing.
+    NegativeFirst,
+}
+
+impl Algorithm {
+    /// Instantiates the routing relation.
+    pub fn build(self) -> Box<dyn RoutingAlgorithm> {
+        match self {
+            Algorithm::DimensionOrder => Box::new(DimensionOrder::new()),
+            Algorithm::Duato => Box::new(DuatoAdaptive::new()),
+            Algorithm::NorthLast => Box::new(TurnModel::new(TurnModelKind::NorthLast)),
+            Algorithm::WestFirst => Box::new(TurnModel::new(TurnModelKind::WestFirst)),
+            Algorithm::NegativeFirst => {
+                Box::new(TurnModel::new(TurnModelKind::NegativeFirst))
+            }
+        }
+    }
+}
+
+/// Traffic pattern selector (the paper's four plus the usual extras).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Node-uniform random traffic.
+    Uniform,
+    /// Matrix transpose `(x,y) → (y,x)`.
+    Transpose,
+    /// Bit-reversal of the node address.
+    BitReversal,
+    /// Perfect shuffle (rotate address left by one bit).
+    PerfectShuffle,
+    /// Bitwise complement of the node address.
+    BitComplement,
+    /// Half-way-around-the-row tornado.
+    Tornado,
+    /// Uniform with a hotspot node receiving extra traffic.
+    Hotspot {
+        /// The hotspot node id.
+        node: u32,
+        /// Probability a message targets the hotspot.
+        probability: f64,
+    },
+    /// Random adjacent-node traffic.
+    NearestNeighbor,
+}
+
+impl Pattern {
+    /// The paper's four evaluation patterns, in presentation order.
+    pub const PAPER_FOUR: [Pattern; 4] = [
+        Pattern::Uniform,
+        Pattern::Transpose,
+        Pattern::BitReversal,
+        Pattern::PerfectShuffle,
+    ];
+
+    /// Instantiates the pattern.
+    pub fn build(self) -> Box<dyn TrafficPattern> {
+        match self {
+            Pattern::Uniform => Box::new(patterns::Uniform::new()),
+            Pattern::Transpose => Box::new(patterns::Transpose::new()),
+            Pattern::BitReversal => Box::new(patterns::BitReversal::new()),
+            Pattern::PerfectShuffle => Box::new(patterns::PerfectShuffle::new()),
+            Pattern::BitComplement => Box::new(patterns::BitComplement::new()),
+            Pattern::Tornado => Box::new(patterns::Tornado::new()),
+            Pattern::Hotspot { node, probability } => {
+                Box::new(patterns::Hotspot::new(NodeId(node), probability))
+            }
+            Pattern::NearestNeighbor => Box::new(patterns::NearestNeighbor::new()),
+        }
+    }
+
+    /// A short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::Uniform => "uniform",
+            Pattern::Transpose => "transpose",
+            Pattern::BitReversal => "bit-reversal",
+            Pattern::PerfectShuffle => "perfect-shuffle",
+            Pattern::BitComplement => "bit-complement",
+            Pattern::Tornado => "tornado",
+            Pattern::Hotspot { .. } => "hotspot",
+            Pattern::NearestNeighbor => "nearest-neighbor",
+        }
+    }
+}
+
+/// Routing-table storage scheme selector (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableKind {
+    /// Full per-destination tables.
+    Full,
+    /// Economical storage (3ⁿ entries).
+    Economical,
+    /// Two-level meta-table with the Fig. 8(a) row labeling
+    /// ("minimal flexibility" — collapses to dimension-order routing).
+    MetaRows,
+    /// Two-level meta-table with rectangular block clusters, e.g. the
+    /// Fig. 8(b) 4×4 labeling ("maximal flexibility").
+    MetaBlocks(Vec<u16>),
+    /// Interval routing (deterministic Y-then-X; ignores `Algorithm`).
+    Interval,
+}
+
+impl TableKind {
+    /// Compiles the table program for a topology and algorithm.
+    pub fn build(&self, mesh: &Mesh, algo: &dyn RoutingAlgorithm) -> Arc<dyn TableScheme> {
+        match self {
+            TableKind::Full => Arc::new(FullTable::program(mesh, algo)),
+            TableKind::Economical => Arc::new(EconomicalTable::program(mesh, algo)),
+            TableKind::MetaRows => Arc::new(MetaTable::rows(mesh, algo)),
+            TableKind::MetaBlocks(shape) => Arc::new(MetaTable::blocks(mesh, shape, algo)),
+            TableKind::Interval => Arc::new(IntervalTable::program(mesh)),
+        }
+    }
+
+    /// A short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TableKind::Full => "full",
+            TableKind::Economical => "economical",
+            TableKind::MetaRows => "meta-rows",
+            TableKind::MetaBlocks(_) => "meta-blocks",
+            TableKind::Interval => "interval",
+        }
+    }
+}
+
+/// One simulation point: everything the paper's Table 2 specifies, plus
+/// the design axes under study (pipeline, heuristic, table scheme).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Topology (the paper: 16×16 mesh).
+    pub mesh: Mesh,
+    /// Router microarchitecture.
+    pub router: RouterConfig,
+    /// Routing algorithm.
+    pub algorithm: Algorithm,
+    /// Table storage scheme.
+    pub table: TableKind,
+    /// Traffic pattern.
+    pub pattern: Pattern,
+    /// Normalized offered load (1.0 = uniform bisection saturation).
+    pub load: f64,
+    /// Message length distribution (the paper: fixed 20 flits).
+    pub lengths: LengthDistribution,
+    /// Warm-up message injections before sampling starts.
+    pub warmup_msgs: u64,
+    /// Measured message injections.
+    pub measure_msgs: u64,
+    /// Master random seed.
+    pub seed: u64,
+    /// Link traversal delay in cycles (the paper: 1).
+    pub link_delay: u64,
+    /// Hard cycle cap (safety net).
+    pub max_cycles: u64,
+    /// Cycles without progress before declaring a stall.
+    pub stall_window: u64,
+    /// Aggregate NIC backlog (messages) that declares saturation.
+    pub backlog_limit: u64,
+}
+
+impl SimConfig {
+    /// The paper's adaptive PROUD configuration (`NO LA, ADAPT`) on a
+    /// `width × height` mesh: Duato's algorithm, full tables, 4 VCs with 1
+    /// escape, 20-flit messages, exponential arrivals.
+    ///
+    /// Message counts default to a fast profile (6k warm-up / 60k measured
+    /// scaled down for small meshes); use
+    /// [`with_message_counts`](SimConfig::with_message_counts) or
+    /// [`with_paper_message_counts`](SimConfig::with_paper_message_counts)
+    /// to change.
+    pub fn paper_adaptive(width: u16, height: u16) -> SimConfig {
+        let mesh = Mesh::mesh_2d(width, height);
+        SimConfig {
+            backlog_limit: 16 * mesh.node_count() as u64,
+            mesh,
+            router: RouterConfig::paper_adaptive(),
+            algorithm: Algorithm::Duato,
+            table: TableKind::Full,
+            pattern: Pattern::Uniform,
+            load: 0.2,
+            lengths: LengthDistribution::PAPER_DEFAULT,
+            warmup_msgs: 2_000,
+            measure_msgs: 20_000,
+            seed: 20260611,
+            link_delay: 1,
+            max_cycles: 10_000_000,
+            stall_window: 20_000,
+        }
+    }
+
+    /// The adaptive LA-PROUD configuration (`LA, ADAPT`).
+    pub fn paper_adaptive_lookahead(width: u16, height: u16) -> SimConfig {
+        let mut cfg = Self::paper_adaptive(width, height);
+        cfg.router = cfg.router.with_lookahead(true);
+        cfg
+    }
+
+    /// The deterministic PROUD configuration (`NO LA, DET`): XY routing
+    /// with all four VCs usable.
+    pub fn paper_deterministic(width: u16, height: u16) -> SimConfig {
+        let mut cfg = Self::paper_adaptive(width, height);
+        cfg.algorithm = Algorithm::DimensionOrder;
+        cfg.router = RouterConfig::paper_deterministic();
+        cfg
+    }
+
+    /// The deterministic LA-PROUD configuration (`LA, DET`).
+    pub fn paper_deterministic_lookahead(width: u16, height: u16) -> SimConfig {
+        let mut cfg = Self::paper_deterministic(width, height);
+        cfg.router = cfg.router.with_lookahead(true);
+        cfg
+    }
+
+    /// Sets the traffic pattern.
+    pub fn with_pattern(mut self, pattern: Pattern) -> SimConfig {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Sets the normalized load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not strictly positive.
+    pub fn with_load(mut self, load: f64) -> SimConfig {
+        assert!(load > 0.0, "load must be positive");
+        self.load = load;
+        self
+    }
+
+    /// Sets warm-up and measured injection counts.
+    pub fn with_message_counts(mut self, warmup: u64, measure: u64) -> SimConfig {
+        self.warmup_msgs = warmup;
+        self.measure_msgs = measure;
+        self
+    }
+
+    /// The paper's measurement protocol: 10,000 warm-up messages and
+    /// 400,000 measured injections. Expensive — minutes per point.
+    pub fn with_paper_message_counts(self) -> SimConfig {
+        self.with_message_counts(10_000, 400_000)
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the table scheme.
+    pub fn with_table(mut self, table: TableKind) -> SimConfig {
+        self.table = table;
+        self
+    }
+
+    /// Sets the path-selection heuristic.
+    pub fn with_path_selection(mut self, psh: PathSelection) -> SimConfig {
+        self.router.path_selection = psh;
+        self
+    }
+
+    /// Switches look-ahead routing on or off.
+    pub fn with_lookahead(mut self, lookahead: bool) -> SimConfig {
+        self.router = self.router.with_lookahead(lookahead);
+        self
+    }
+
+    /// Sets the table-lookup latency in cycles (models the slower RAM
+    /// access of large tables — Table 5's "lookup time" column).
+    pub fn with_table_lookup_cycles(mut self, cycles: u32) -> SimConfig {
+        self.router = self.router.with_table_lookup_cycles(cycles);
+        self
+    }
+
+    /// Sets the message length distribution.
+    pub fn with_message_length(mut self, lengths: LengthDistribution) -> SimConfig {
+        self.lengths = lengths;
+        self
+    }
+
+    /// Replaces the topology (rescaling the backlog limit).
+    pub fn with_mesh(mut self, mesh: Mesh) -> SimConfig {
+        self.backlog_limit = 16 * mesh.node_count() as u64;
+        self.mesh = mesh;
+        self
+    }
+
+    /// Applies `LAPSES_WARMUP_MSGS` / `LAPSES_MEASURE_MSGS` environment
+    /// overrides, letting the benches run the full paper protocol on
+    /// demand without recompiling.
+    pub fn with_env_message_counts(mut self) -> SimConfig {
+        if let Some(w) = env_u64("LAPSES_WARMUP_MSGS") {
+            self.warmup_msgs = w;
+        }
+        if let Some(m) = env_u64("LAPSES_MEASURE_MSGS") {
+            self.measure_msgs = m;
+        }
+        self
+    }
+
+    /// Runs the simulation point to completion (or saturation cut-off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent — most importantly, if
+    /// the routing algorithm needs escape channels the router does not
+    /// provide (Duato's protocol requires at least one escape VC per
+    /// dateline subclass).
+    pub fn run(&self) -> SimResult {
+        let algo = self.algorithm.build();
+        let mut router_cfg = self.router.clone();
+        router_cfg.escape_subclasses = algo.escape_subclasses(&self.mesh).max(1);
+        if !algo.deadlock_free_without_escape() {
+            assert!(
+                router_cfg.escape_vcs >= router_cfg.escape_subclasses,
+                "{:?} routing needs at least {} escape VC(s) for deadlock freedom",
+                self.algorithm,
+                router_cfg.escape_subclasses
+            );
+        } else if router_cfg.escape_vcs == 0 {
+            router_cfg.escape_subclasses = 1;
+        }
+
+        let program = self.table.build(&self.mesh, algo.as_ref());
+        let mut net = Network::new(
+            self.mesh.clone(),
+            router_cfg,
+            program,
+            self.link_delay,
+            self.seed,
+        );
+
+        let pattern = self.pattern.build();
+        let arrivals = Exponential::new(Generator::mean_gap_for_load(
+            &self.mesh,
+            self.load,
+            self.lengths.mean(),
+        ));
+        let mut master = SimRng::from_seed(self.seed ^ 0x5EED_CAFE);
+        let mut generators: Vec<Generator> = self
+            .mesh
+            .nodes()
+            .map(|n| Generator::new(n, master.fork(n.0 as u64)))
+            .collect();
+
+        let mut phase = PhaseController::new(self.warmup_msgs, self.measure_msgs);
+        let mut watchdog = ProgressWatchdog::new(self.stall_window, self.backlog_limit);
+        let mut clock = Cycle::ZERO;
+
+        loop {
+            if phase.accepting_injections() {
+                'gen: for g in generators.iter_mut() {
+                    let src = g.src();
+                    for spec in g.poll(
+                        clock,
+                        &self.mesh,
+                        pattern.as_ref(),
+                        &arrivals,
+                        self.lengths,
+                    ) {
+                        if !phase.accepting_injections() {
+                            break 'gen;
+                        }
+                        let measured = phase.note_injection();
+                        net.offer_message(src, spec.dest, spec.length, clock, measured);
+                    }
+                }
+            }
+
+            let summary = net.step(clock);
+            for _ in 0..summary.measured_deliveries {
+                phase.note_measured_delivery();
+            }
+            if summary.moved {
+                watchdog.note_progress(clock);
+            }
+            watchdog.note_backlog(net.backlog());
+
+            if phase.phase() == MeasurementPhase::Done {
+                break;
+            }
+            if watchdog.is_saturated()
+                || watchdog.is_stalled(clock, net.has_traffic())
+                || clock.as_u64() >= self.max_cycles
+            {
+                return SimResult::saturated_placeholder(
+                    net.cycles_run(),
+                    net.latency().count(),
+                );
+            }
+            clock.tick();
+        }
+
+        let stats = net.router_stats();
+        let allocs = stats.adaptive_allocations + stats.escape_allocations;
+        let cycles = net.cycles_run().max(1);
+        let max_link = net
+            .link_loads()
+            .filter(|(_, p, _)| !p.is_local())
+            .map(|(_, _, f)| f)
+            .max()
+            .unwrap_or(0);
+        SimResult {
+            avg_latency: net.latency().mean(),
+            avg_total_latency: net.total_latency().mean(),
+            p50_latency: net.histogram().percentile(50.0),
+            p95_latency: net.histogram().percentile(95.0),
+            p99_latency: net.histogram().percentile(99.0),
+            max_latency: net.latency().max().unwrap_or(0.0),
+            messages: net.latency().count(),
+            cycles: net.cycles_run(),
+            saturated: false,
+            throughput: net.measured_flits_ejected() as f64
+                / cycles as f64
+                / self.mesh.node_count() as f64,
+            escape_fraction: if allocs == 0 {
+                0.0
+            } else {
+                stats.escape_allocations as f64 / allocs as f64
+            },
+            choice_fraction: if stats.headers_routed == 0 {
+                0.0
+            } else {
+                stats.multi_candidate_decisions as f64 / stats.headers_routed as f64
+            },
+            max_link_utilization: max_link as f64 / cycles as f64,
+        }
+    }
+
+    /// Runs the configuration across a load sweep, stopping after the
+    /// first saturated point (which is included, reported as "Sat.").
+    pub fn sweep(&self, loads: &[f64]) -> Vec<(f64, SimResult)> {
+        let mut out = Vec::new();
+        for &load in loads {
+            let result = self.clone().with_load(load).run();
+            let saturated = result.saturated;
+            out.push((load, result));
+            if saturated {
+                break;
+            }
+        }
+        out
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(cfg: SimConfig) -> SimConfig {
+        cfg.with_message_counts(200, 1_000).with_seed(99)
+    }
+
+    #[test]
+    fn low_load_uniform_completes_unsaturated() {
+        let r = fast(SimConfig::paper_adaptive(8, 8)).with_load(0.2).run();
+        assert!(!r.saturated);
+        assert_eq!(r.messages, 1_000);
+        assert!(r.avg_latency > 20.0, "latency {}", r.avg_latency);
+        assert!(r.avg_total_latency >= r.avg_latency);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn lookahead_beats_proud_at_low_load() {
+        let proud = fast(SimConfig::paper_adaptive(8, 8)).with_load(0.1).run();
+        let la = fast(SimConfig::paper_adaptive_lookahead(8, 8))
+            .with_load(0.1)
+            .run();
+        assert!(
+            la.avg_latency < proud.avg_latency,
+            "LA {} vs PROUD {}",
+            la.avg_latency,
+            proud.avg_latency
+        );
+        // Roughly one cycle per router on the path.
+        let diff = proud.avg_latency - la.avg_latency;
+        assert!((3.0..9.0).contains(&diff), "diff {diff}");
+    }
+
+    #[test]
+    fn overload_saturates() {
+        let r = fast(SimConfig::paper_adaptive(4, 4)).with_load(3.0).run();
+        assert!(r.saturated);
+        assert_eq!(r.latency_cell(), "Sat.");
+    }
+
+    #[test]
+    fn deterministic_configs_run() {
+        let det = fast(SimConfig::paper_deterministic(8, 8)).with_load(0.2).run();
+        assert!(!det.saturated);
+        // XY routing never has a choice to make.
+        assert_eq!(det.choice_fraction, 0.0);
+        assert_eq!(det.escape_fraction, 0.0);
+    }
+
+    #[test]
+    fn economical_equals_full_table_exactly() {
+        // §5.2.2: same seed, same routing relation => identical statistics.
+        let full = fast(SimConfig::paper_adaptive(8, 8))
+            .with_table(TableKind::Full)
+            .with_load(0.3)
+            .run();
+        let econ = fast(SimConfig::paper_adaptive(8, 8))
+            .with_table(TableKind::Economical)
+            .with_load(0.3)
+            .run();
+        assert_eq!(full.avg_latency, econ.avg_latency);
+        assert_eq!(full.messages, econ.messages);
+    }
+
+    #[test]
+    fn sweep_stops_at_saturation() {
+        let cfg = fast(SimConfig::paper_adaptive(4, 4));
+        let points = cfg.sweep(&[0.2, 3.0, 5.0]);
+        assert_eq!(points.len(), 2, "sweep must stop after first Sat.");
+        assert!(!points[0].1.saturated);
+        assert!(points[1].1.saturated);
+    }
+
+    #[test]
+    #[should_panic(expected = "escape VC")]
+    fn duato_without_escape_rejected() {
+        let mut cfg = SimConfig::paper_adaptive(4, 4);
+        cfg.router.escape_vcs = 0;
+        let _ = cfg.run();
+    }
+
+    #[test]
+    fn transpose_pattern_runs() {
+        let r = fast(SimConfig::paper_adaptive(8, 8))
+            .with_pattern(Pattern::Transpose)
+            .with_load(0.15)
+            .run();
+        assert!(!r.saturated);
+        // Adaptive routing on transpose exercises multi-candidate choices.
+        assert!(r.choice_fraction > 0.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let a = fast(SimConfig::paper_adaptive(8, 8)).with_load(0.25).run();
+        let b = fast(SimConfig::paper_adaptive(8, 8)).with_load(0.25).run();
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

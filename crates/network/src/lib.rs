@@ -1,0 +1,44 @@
+//! Cycle-level wormhole network simulator for the LAPSES study.
+//!
+//! This crate assembles [`lapses_core::Router`]s into a mesh or torus,
+//! connects them with unit-delay links and credit return paths, attaches a
+//! network interface (injection queue + ejection sink) to every node, and
+//! drives the whole system cycle by cycle — the reconstruction of the
+//! paper's "PROUD network simulator".
+//!
+//! The high-level entry point is [`experiment::SimConfig`]: describe the
+//! topology, router, table scheme, routing algorithm, traffic pattern and
+//! offered load, then call [`experiment::SimConfig::run`] to obtain a
+//! [`stats::SimResult`] with the latency statistics the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use lapses_network::experiment::{Pattern, SimConfig};
+//!
+//! // A small, fast configuration (the paper's is 16x16 with 400k messages).
+//! let result = SimConfig::paper_adaptive_lookahead(8, 8)
+//!     .with_pattern(Pattern::Uniform)
+//!     .with_load(0.2)
+//!     .with_message_counts(200, 2_000)
+//!     .with_seed(7)
+//!     .run();
+//! assert!(!result.saturated);
+//! assert!(result.avg_latency > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod network;
+pub mod report;
+pub mod stats;
+
+mod delivery;
+mod nic;
+
+pub use experiment::{Algorithm, Pattern, SimConfig, TableKind};
+pub use network::Network;
+pub use report::SweepReport;
+pub use stats::SimResult;

@@ -1,0 +1,530 @@
+//! The assembled network: routers, links, NICs and the cycle loop.
+
+use crate::delivery::{CreditDelivery, DeliveryQueues, FlitDelivery};
+use crate::nic::Nic;
+use lapses_core::router::RouterStats;
+use lapses_core::{Flit, MessageId, Router, RouterConfig, RouterTable, TableScheme};
+use lapses_core::router::INFINITE_CREDITS;
+use lapses_sim::{Cycle, Histogram, RunningStats, SimRng};
+use lapses_topology::{Mesh, NodeId, Port};
+use std::sync::Arc;
+
+/// What happened during one network cycle — the inputs the measurement
+/// loop needs for phase and watchdog bookkeeping.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CycleSummary {
+    /// Measured messages whose tail reached its destination this cycle.
+    pub measured_deliveries: u32,
+    /// Whether any flit moved or allocation succeeded anywhere.
+    pub moved: bool,
+}
+
+/// A complete wormhole network: one router and NIC per node, unit-delay
+/// links, and credit return paths.
+///
+/// The network is deliberately policy-free: it moves flits and records
+/// latency samples. Traffic generation and the warm-up/measure/drain
+/// protocol live in [`crate::experiment`].
+pub struct Network {
+    mesh: Mesh,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    queues: DeliveryQueues,
+    program: Arc<dyn TableScheme>,
+    lookahead: bool,
+    next_msg: u64,
+    /// Network latency (head injection → tail ejection) of measured
+    /// messages.
+    latency: RunningStats,
+    /// Total latency (generation → tail ejection) of measured messages.
+    total_latency: RunningStats,
+    histogram: Histogram,
+    /// Flits launched per (node, port), for link-utilization reports.
+    link_flits: Vec<u64>,
+    cycles_run: u64,
+    measured_flits_ejected: u64,
+    /// Reused per-cycle scratch buffers (hot-loop allocation avoidance).
+    scratch_step: lapses_core::StepOutputs,
+    scratch_flits: Vec<FlitDelivery>,
+    scratch_credits: Vec<CreditDelivery>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("mesh", &self.mesh)
+            .field("scheme", &self.program.name())
+            .field("cycles_run", &self.cycles_run)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Builds the network: a router per node programmed with `program`, a
+    /// NIC per node, and credits wired to the downstream buffer depths.
+    pub fn new(
+        mesh: Mesh,
+        router_cfg: RouterConfig,
+        program: Arc<dyn TableScheme>,
+        link_delay: u64,
+        seed: u64,
+    ) -> Network {
+        assert_eq!(
+            program.mesh(),
+            &mesh,
+            "table program compiled for a different topology"
+        );
+        router_cfg.validate();
+        let mut rng = SimRng::from_seed(seed);
+        let ports = mesh.ports_per_router();
+        let vcs = router_cfg.vcs_per_port;
+        let lookahead = router_cfg.pipeline.is_lookahead();
+
+        let mut routers: Vec<Router> = mesh
+            .nodes()
+            .map(|node| {
+                Router::new(
+                    node,
+                    ports,
+                    router_cfg.clone(),
+                    RouterTable::new(Arc::clone(&program), node),
+                    rng.fork(node.0 as u64),
+                )
+            })
+            .collect();
+
+        // Wire credits: direction ports get the neighbor's input buffer
+        // depth, edge ports get zero (never routed to), the ejection port
+        // is an infinite sink.
+        for node in mesh.nodes() {
+            for port in mesh.direction_ports().collect::<Vec<_>>() {
+                let dir = port.direction().expect("direction port");
+                let credits = if mesh.neighbor(node, dir).is_some() {
+                    router_cfg.input_buffer_flits as u32
+                } else {
+                    0
+                };
+                for v in 0..vcs {
+                    routers[node.index()].set_credits(port, v, credits);
+                }
+            }
+            for v in 0..vcs {
+                routers[node.index()].set_credits(Port::LOCAL, v, INFINITE_CREDITS);
+            }
+        }
+
+        let nics = mesh
+            .nodes()
+            .map(|node| Nic::new(node, vcs, router_cfg.input_buffer_flits))
+            .collect();
+
+        Network {
+            routers,
+            nics,
+            // A flit launched by the VC mux spends `link_delay` cycles on
+            // the wire and lands in the downstream buffer during the next
+            // cycle's sync stage, so each hop costs the paper's
+            // 5 (router) + 1 (link) cycles under PROUD. Credits ride the
+            // reverse wire in one cycle.
+            queues: DeliveryQueues::new(link_delay + 1, 1),
+            program,
+            lookahead,
+            next_msg: 0,
+            latency: RunningStats::new(),
+            total_latency: RunningStats::new(),
+            histogram: Histogram::new(4.0, 2048),
+            link_flits: vec![0; mesh.node_count() * ports],
+            cycles_run: 0,
+            measured_flits_ejected: 0,
+            scratch_step: lapses_core::StepOutputs::default(),
+            scratch_flits: Vec::new(),
+            scratch_credits: Vec::new(),
+            mesh,
+        }
+    }
+
+    /// The topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Queues a message at its source NIC. Look-ahead headers get the
+    /// source router's candidate entry attached (the injection-time lookup
+    /// the SGI SPIDER performs at the source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dest` (patterns never generate self-traffic) or
+    /// `length` is zero.
+    pub fn offer_message(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        length: u32,
+        now: Cycle,
+        measured: bool,
+    ) {
+        assert_ne!(src, dest, "self-addressed message");
+        let id = MessageId(self.next_msg);
+        self.next_msg += 1;
+        let mut flits = Flit::message(id, src, dest, length, now, measured);
+        if self.lookahead {
+            flits[0].lookahead = Some(self.program.entry(src, dest));
+        }
+        self.nics[src.index()].enqueue(flits);
+    }
+
+    /// Runs one cycle: routers step, link and credit arrivals are
+    /// delivered, NICs inject, and ejected tails are sampled.
+    pub fn step(&mut self, now: Cycle) -> CycleSummary {
+        let mut summary = CycleSummary::default();
+        let ports = self.mesh.ports_per_router();
+
+        // 1. Routers advance one cycle; launches and credits enter the wires.
+        let mut out = std::mem::take(&mut self.scratch_step);
+        for node in 0..self.routers.len() {
+            self.routers[node].step_into(now, &mut out);
+            summary.moved |= out.moved;
+            for launch in out.launches.drain(..) {
+                self.link_flits[node * ports + launch.port.index()] += 1;
+                let node_id = NodeId(node as u32);
+                match launch.port.direction() {
+                    None => {
+                        // Ejection channel toward the local NIC.
+                        self.queues.send_flit(
+                            now,
+                            FlitDelivery {
+                                node: node_id,
+                                port: Port::LOCAL,
+                                vc: launch.vc,
+                                flit: launch.flit,
+                            },
+                        );
+                    }
+                    Some(dir) => {
+                        let neighbor = self
+                            .mesh
+                            .neighbor(node_id, dir)
+                            .expect("launch over a missing link");
+                        self.queues.send_flit(
+                            now,
+                            FlitDelivery {
+                                node: neighbor,
+                                port: Port::from(dir.opposite()),
+                                vc: launch.vc,
+                                flit: launch.flit,
+                            },
+                        );
+                    }
+                }
+            }
+            for (in_port, vc) in out.credits.drain(..) {
+                let node_id = NodeId(node as u32);
+                match in_port.direction() {
+                    None => self.nics[node].credit(vc), // injection credit
+                    Some(dir) => {
+                        let upstream = self
+                            .mesh
+                            .neighbor(node_id, dir)
+                            .expect("credit over a missing link");
+                        self.queues.send_credit(
+                            now,
+                            CreditDelivery {
+                                node: upstream,
+                                port: Port::from(dir.opposite()),
+                                vc,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        self.scratch_step = out;
+
+        // 2. Arrivals due this cycle.
+        let mut flits = std::mem::take(&mut self.scratch_flits);
+        self.queues.drain_flits_into(now, &mut flits);
+        for d in flits.drain(..) {
+            if d.port.is_local() {
+                // Ejected into the NIC.
+                if d.flit.kind.is_tail() {
+                    let net_latency = now.duration_since(d.flit.injected_at) as f64;
+                    let total = now.duration_since(d.flit.created_at) as f64;
+                    if d.flit.measured {
+                        self.latency.record(net_latency);
+                        self.total_latency.record(total);
+                        self.histogram.record(net_latency);
+                        summary.measured_deliveries += 1;
+                    }
+                }
+                if d.flit.measured {
+                    self.measured_flits_ejected += 1;
+                }
+                summary.moved = true;
+            } else {
+                self.routers[d.node.index()].accept_flit(d.port, d.vc, d.flit, now);
+            }
+        }
+        self.scratch_flits = flits;
+        let mut credits = std::mem::take(&mut self.scratch_credits);
+        self.queues.drain_credits_into(now, &mut credits);
+        for c in credits.drain(..) {
+            self.routers[c.node.index()].accept_credit(c.port, c.vc);
+        }
+        self.scratch_credits = credits;
+
+        // 3. NICs inject (at most one flit per node per cycle).
+        for node in 0..self.nics.len() {
+            if let Some((vc, flit)) = self.nics[node].inject(now) {
+                self.routers[node].accept_flit(Port::LOCAL, vc, flit, now);
+                summary.moved = true;
+            }
+        }
+
+        self.cycles_run += 1;
+        summary
+    }
+
+    /// Messages waiting or streaming at the NICs (the watchdog's backlog).
+    pub fn backlog(&self) -> u64 {
+        self.nics.iter().map(|n| n.backlog() as u64).sum()
+    }
+
+    /// Whether any flit is anywhere in the system (for stall detection).
+    pub fn has_traffic(&self) -> bool {
+        self.queues.in_flight() > 0
+            || self.nics.iter().any(|n| !n.is_idle())
+            || self.routers.iter().any(|r| !r.is_empty())
+    }
+
+    /// Network-latency statistics of measured messages.
+    pub fn latency(&self) -> &RunningStats {
+        &self.latency
+    }
+
+    /// Total-latency (including source queueing) statistics.
+    pub fn total_latency(&self) -> &RunningStats {
+        &self.total_latency
+    }
+
+    /// Latency histogram for percentile estimation.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// Measured flits ejected so far.
+    pub fn measured_flits_ejected(&self) -> u64 {
+        self.measured_flits_ejected
+    }
+
+    /// Aggregated router activity counters.
+    pub fn router_stats(&self) -> RouterStats {
+        let mut total = RouterStats::default();
+        for r in &self.routers {
+            let s = r.stats();
+            total.flits_switched += s.flits_switched;
+            total.headers_routed += s.headers_routed;
+            total.adaptive_allocations += s.adaptive_allocations;
+            total.escape_allocations += s.escape_allocations;
+            total.selection_stall_cycles += s.selection_stall_cycles;
+            total.multi_candidate_decisions += s.multi_candidate_decisions;
+        }
+        total
+    }
+
+    /// Asserts the network is fully quiescent and flow control balanced:
+    /// no flits anywhere, every NIC idle, and every wired output VC's
+    /// credit counter restored to the downstream buffer depth.
+    ///
+    /// Catching a credit leak here means some flit consumed buffer space
+    /// that was never returned — the classic wormhole flow-control bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description of the leaking channel) if any of those
+    /// conditions is violated. Intended for tests and drained simulations.
+    pub fn assert_quiescent(&self) {
+        assert!(!self.has_traffic(), "network still holds traffic");
+        let depth = self.routers[0].config().input_buffer_flits as u32;
+        for node in self.mesh.nodes() {
+            let router = &self.routers[node.index()];
+            for port in self.mesh.direction_ports() {
+                let dir = port.direction().expect("direction port");
+                if self.mesh.neighbor(node, dir).is_none() {
+                    continue;
+                }
+                for v in 0..router.config().vcs_per_port {
+                    let credits = router.credits(port, v);
+                    assert_eq!(
+                        credits, depth,
+                        "credit leak at {node} {port} vc{v}: {credits} of {depth}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Per-link flit counts as `(node, port, flits)` for utilization
+    /// analysis (e.g. the meta-table cluster-boundary congestion).
+    pub fn link_loads(&self) -> impl Iterator<Item = (NodeId, Port, u64)> + '_ {
+        let ports = self.mesh.ports_per_router();
+        self.link_flits.iter().enumerate().map(move |(i, &f)| {
+            (
+                NodeId((i / ports) as u32),
+                Port::from_index(i % ports),
+                f,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lapses_core::tables::FullTable;
+    use lapses_routing::DuatoAdaptive;
+
+    fn small_net(cfg: RouterConfig) -> Network {
+        let mesh = Mesh::mesh_2d(4, 4);
+        let program: Arc<dyn TableScheme> =
+            Arc::new(FullTable::program(&mesh, &DuatoAdaptive::new()));
+        Network::new(mesh, cfg, program, 1, 42)
+    }
+
+    fn run_until_delivered(net: &mut Network, expect: u32, max_cycles: u64) -> u64 {
+        let mut delivered = 0;
+        for t in 0..max_cycles {
+            delivered += net.step(Cycle::new(t)).measured_deliveries;
+            if delivered >= expect {
+                return t;
+            }
+        }
+        panic!("only {delivered}/{expect} messages delivered in {max_cycles} cycles");
+    }
+
+    #[test]
+    fn single_message_is_delivered() {
+        let mut net = small_net(RouterConfig::paper_adaptive());
+        let src = net.mesh().id_at(&[0, 0]).unwrap();
+        let dest = net.mesh().id_at(&[3, 3]).unwrap();
+        net.offer_message(src, dest, 20, Cycle::ZERO, true);
+        run_until_delivered(&mut net, 1, 500);
+        assert_eq!(net.latency().count(), 1);
+        assert!(!net.has_traffic());
+    }
+
+    #[test]
+    fn zero_load_latency_matches_pipeline_arithmetic() {
+        // h hops => (h+1) routers * 5 cycles + (h+1) links + (L-1)
+        // serialization for PROUD.
+        let mut net = small_net(RouterConfig::paper_adaptive());
+        let src = net.mesh().id_at(&[0, 0]).unwrap();
+        let dest = net.mesh().id_at(&[3, 0]).unwrap(); // 3 hops
+        let len = 5;
+        net.offer_message(src, dest, len, Cycle::ZERO, true);
+        run_until_delivered(&mut net, 1, 500);
+        let expected = 4.0 * (5.0 + 1.0) + (len as f64 - 1.0);
+        assert_eq!(net.latency().mean(), expected);
+    }
+
+    #[test]
+    fn lookahead_saves_one_cycle_per_router() {
+        let latency = |lookahead: bool| {
+            let mut net =
+                small_net(RouterConfig::paper_adaptive().with_lookahead(lookahead));
+            let src = net.mesh().id_at(&[0, 0]).unwrap();
+            let dest = net.mesh().id_at(&[3, 0]).unwrap();
+            net.offer_message(src, dest, 5, Cycle::ZERO, true);
+            run_until_delivered(&mut net, 1, 500);
+            net.latency().mean()
+        };
+        let proud = latency(false);
+        let la = latency(true);
+        // 4 routers on the path, one cycle saved per router.
+        assert_eq!(proud - la, 4.0);
+    }
+
+    #[test]
+    fn many_messages_all_arrive() {
+        let mut net = small_net(RouterConfig::paper_adaptive());
+        let mesh = net.mesh().clone();
+        let mut n = 0;
+        for src in mesh.nodes() {
+            for dest in mesh.nodes() {
+                if src != dest && (src.0 + dest.0) % 3 == 0 {
+                    net.offer_message(src, dest, 8, Cycle::ZERO, true);
+                    n += 1;
+                }
+            }
+        }
+        run_until_delivered(&mut net, n, 20_000);
+        assert_eq!(net.latency().count(), n as u64);
+        assert!(!net.has_traffic());
+        // Flits switched at least once per hop.
+        assert!(net.router_stats().flits_switched > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mesh = Mesh::mesh_2d(4, 4);
+            let program: Arc<dyn TableScheme> =
+                Arc::new(FullTable::program(&mesh, &DuatoAdaptive::new()));
+            let mut net =
+                Network::new(mesh.clone(), RouterConfig::paper_adaptive(), program, 1, seed);
+            for src in mesh.nodes() {
+                let dest = NodeId((src.0 + 5) % 16);
+                net.offer_message(src, dest, 6, Cycle::ZERO, true);
+            }
+            run_until_delivered(&mut net, 16, 5_000);
+            net.latency().mean()
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn link_loads_are_recorded() {
+        let mut net = small_net(RouterConfig::paper_adaptive());
+        let src = net.mesh().id_at(&[0, 0]).unwrap();
+        let dest = net.mesh().id_at(&[2, 0]).unwrap();
+        net.offer_message(src, dest, 4, Cycle::ZERO, true);
+        run_until_delivered(&mut net, 1, 500);
+        let px = Port::from(lapses_topology::Direction::plus(0));
+        let load_at_origin: u64 = net
+            .link_loads()
+            .find(|(n, p, _)| *n == src && *p == px)
+            .map(|(_, _, f)| f)
+            .unwrap();
+        assert_eq!(load_at_origin, 4, "all four flits crossed the first link");
+    }
+
+    #[test]
+    fn lookahead_network_delivers_under_contention() {
+        let mut net = small_net(RouterConfig::paper_adaptive().with_lookahead(true));
+        let mesh = net.mesh().clone();
+        let mut n = 0;
+        for src in mesh.nodes() {
+            for dest in mesh.nodes() {
+                if src != dest && (src.0 * 7 + dest.0) % 5 == 0 {
+                    net.offer_message(src, dest, 8, Cycle::ZERO, true);
+                    n += 1;
+                }
+            }
+        }
+        run_until_delivered(&mut net, n, 20_000);
+        assert_eq!(net.latency().count(), n as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-addressed")]
+    fn self_traffic_rejected() {
+        let mut net = small_net(RouterConfig::paper_adaptive());
+        net.offer_message(NodeId(0), NodeId(0), 4, Cycle::ZERO, true);
+    }
+}

@@ -1,0 +1,231 @@
+//! Load-sweep reporting: paper-style latency/load series rendered as text.
+//!
+//! The paper presents its results as latency-versus-normalized-load curves
+//! (Figs. 5 and 6). [`SweepReport`] collects one or more labeled sweeps and
+//! renders them as an aligned table plus a quick ASCII chart, so examples
+//! and ad-hoc experiments can eyeball curve shapes without leaving the
+//! terminal. CSV export feeds external plotting.
+
+use crate::stats::SimResult;
+use std::fmt::Write as _;
+
+/// One labeled latency-vs-load series.
+#[derive(Debug, Clone)]
+pub struct SweepSeries {
+    /// Legend label ("LA, ADAPT", "LRU", ...).
+    pub label: String,
+    /// `(normalized load, result)` points in ascending load order.
+    pub points: Vec<(f64, SimResult)>,
+}
+
+/// A collection of sweeps over the same load axis.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    series: Vec<SweepSeries>,
+}
+
+impl SweepReport {
+    /// Creates an empty report.
+    pub fn new() -> SweepReport {
+        SweepReport::default()
+    }
+
+    /// Adds a labeled sweep.
+    pub fn push(&mut self, label: impl Into<String>, points: Vec<(f64, SimResult)>) {
+        self.series.push(SweepSeries {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// The collected series.
+    pub fn series(&self) -> &[SweepSeries] {
+        &self.series
+    }
+
+    /// All distinct loads across the series, ascending.
+    fn loads(&self) -> Vec<f64> {
+        let mut loads: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(l, _)| *l))
+            .collect();
+        loads.sort_by(|a, b| a.total_cmp(b));
+        loads.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        loads
+    }
+
+    /// Renders an aligned latency table, one row per load, one column per
+    /// series, with the paper's "Sat." convention.
+    pub fn to_table(&self) -> String {
+        let loads = self.loads();
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "load");
+        for s in &self.series {
+            let _ = write!(out, "  {:>12}", truncate(&s.label, 12));
+        }
+        out.push('\n');
+        for &load in &loads {
+            let _ = write!(out, "{load:>6.2}");
+            for s in &self.series {
+                let cell = s
+                    .points
+                    .iter()
+                    .find(|(l, _)| (*l - load).abs() < 1e-9)
+                    .map_or("-".to_string(), |(_, r)| r.latency_cell());
+                let _ = write!(out, "  {cell:>12}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a rough ASCII chart of latency vs load (linear axes,
+    /// saturated points clipped to the top line). `height` rows tall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height < 2`.
+    pub fn to_chart(&self, height: usize) -> String {
+        assert!(height >= 2, "chart needs at least two rows");
+        let loads = self.loads();
+        if loads.is_empty() {
+            return String::from("(no data)\n");
+        }
+        let max_latency = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .filter(|(_, r)| !r.saturated)
+            .map(|(_, r)| r.avg_latency)
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+
+        let cols = loads.len();
+        let mut grid = vec![vec![' '; cols * 3]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let marker = marker_for(si);
+            for (load, r) in &s.points {
+                let col = loads
+                    .iter()
+                    .position(|l| (l - load).abs() < 1e-9)
+                    .expect("load on the axis")
+                    * 3
+                    + 1;
+                let value = if r.saturated {
+                    max_latency
+                } else {
+                    r.avg_latency
+                };
+                let frac = (value / max_latency).clamp(0.0, 1.0);
+                let row = height - 1 - ((frac * (height - 1) as f64).round() as usize);
+                grid[row][col] = marker;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "latency (max {max_latency:.0} cycles)");
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(cols * 3));
+        out.push('\n');
+        out.push(' ');
+        for load in &loads {
+            let _ = write!(out, "{:<3}", format!("{:.1}", load).replace("0.", "."));
+        }
+        out.push('\n');
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "  {} = {}", marker_for(si), s.label);
+        }
+        out
+    }
+}
+
+fn marker_for(index: usize) -> char {
+    const MARKERS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    MARKERS[index % MARKERS.len()]
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        s[..n].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(latency: f64, saturated: bool) -> SimResult {
+        SimResult {
+            avg_latency: latency,
+            avg_total_latency: latency,
+            p50_latency: None,
+            p95_latency: None,
+            p99_latency: None,
+            max_latency: latency,
+            messages: 100,
+            cycles: 1000,
+            saturated,
+            throughput: 0.1,
+            escape_fraction: 0.0,
+            choice_fraction: 0.0,
+            max_link_utilization: 0.2,
+        }
+    }
+
+    fn report() -> SweepReport {
+        let mut rep = SweepReport::new();
+        rep.push(
+            "det",
+            vec![(0.1, result(90.0, false)), (0.2, result(300.0, false))],
+        );
+        rep.push(
+            "adaptive",
+            vec![
+                (0.1, result(88.0, false)),
+                (0.2, result(120.0, false)),
+                (0.3, result(0.0, true)),
+            ],
+        );
+        rep
+    }
+
+    #[test]
+    fn table_includes_all_loads_and_sat_cells() {
+        let t = report().to_table();
+        assert!(t.contains("0.30"));
+        assert!(t.contains("Sat."));
+        assert!(t.contains("det"));
+        // The det series has no 0.3 point.
+        assert!(t.lines().last().unwrap().contains('-'));
+    }
+
+    #[test]
+    fn chart_renders_markers_and_legend() {
+        let c = report().to_chart(8);
+        assert!(c.contains('*'));
+        assert!(c.contains('o'));
+        assert!(c.contains("adaptive"));
+        assert!(c.lines().count() > 8);
+    }
+
+    #[test]
+    fn empty_report_is_harmless() {
+        let rep = SweepReport::new();
+        assert_eq!(rep.to_chart(4), "(no data)\n");
+        assert_eq!(rep.series().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two rows")]
+    fn tiny_chart_rejected() {
+        let _ = report().to_chart(1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Result summary of one simulation run.
+
+use std::fmt;
+
+/// The measurements of one simulation point — one (configuration, load)
+/// cell of the paper's figures and tables.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Average network latency in cycles (head injection → tail ejection)
+    /// — the paper's primary metric.
+    pub avg_latency: f64,
+    /// Average total latency including source-queueing time.
+    pub avg_total_latency: f64,
+    /// Median network latency, when resolvable.
+    pub p50_latency: Option<f64>,
+    /// 95th-percentile network latency, when resolvable.
+    pub p95_latency: Option<f64>,
+    /// 99th-percentile network latency, when resolvable.
+    pub p99_latency: Option<f64>,
+    /// Largest observed network latency.
+    pub max_latency: f64,
+    /// Measured messages delivered.
+    pub messages: u64,
+    /// Cycles simulated (including warm-up and drain).
+    pub cycles: u64,
+    /// Whether the run was cut off as saturated (backlog growth or stall)
+    /// — the paper's "Sat." entries.
+    pub saturated: bool,
+    /// Delivered throughput in flits/node/cycle over the whole run.
+    pub throughput: f64,
+    /// Fraction of VC allocations that fell back to the Duato escape VC.
+    pub escape_fraction: f64,
+    /// Fraction of header routings where more than one candidate port was
+    /// available (how often the path-selection heuristic actually chose).
+    pub choice_fraction: f64,
+    /// Mean utilization of the busiest direction link (flits per cycle).
+    pub max_link_utilization: f64,
+}
+
+impl SimResult {
+    /// A result representing a saturated, unusable configuration.
+    pub(crate) fn saturated_placeholder(cycles: u64, messages: u64) -> SimResult {
+        SimResult {
+            avg_latency: f64::INFINITY,
+            avg_total_latency: f64::INFINITY,
+            p50_latency: None,
+            p95_latency: None,
+            p99_latency: None,
+            max_latency: f64::INFINITY,
+            messages,
+            cycles,
+            saturated: true,
+            throughput: 0.0,
+            escape_fraction: 0.0,
+            choice_fraction: 0.0,
+            max_link_utilization: 0.0,
+        }
+    }
+
+    /// Formats the latency like the paper's tables: one decimal, or
+    /// `"Sat."` when the configuration saturated.
+    pub fn latency_cell(&self) -> String {
+        if self.saturated {
+            "Sat.".to_string()
+        } else {
+            format!("{:.1}", self.avg_latency)
+        }
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.saturated {
+            write!(f, "saturated after {} cycles", self.cycles)
+        } else {
+            write!(
+                f,
+                "latency {:.1} (p95 {}) over {} msgs in {} cycles",
+                self.avg_latency,
+                self.p95_latency
+                    .map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+                self.messages,
+                self.cycles
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturated_placeholder_formats_like_the_paper() {
+        let r = SimResult::saturated_placeholder(1000, 42);
+        assert!(r.saturated);
+        assert_eq!(r.latency_cell(), "Sat.");
+        assert!(r.to_string().contains("saturated"));
+    }
+
+    #[test]
+    fn latency_cell_has_one_decimal() {
+        let r = SimResult {
+            avg_latency: 74.04,
+            saturated: false,
+            ..SimResult::saturated_placeholder(0, 0)
+        };
+        assert_eq!(r.latency_cell(), "74.0");
+    }
+}

@@ -1,0 +1,52 @@
+//! Routing algorithms and deadlock analysis for the LAPSES router study.
+//!
+//! The paper (§2.3) uses **Duato's fully adaptive algorithm** as the running
+//! example — minimal fully-adaptive routing on the *adaptive* virtual
+//! channels with deterministic dimension-order routing on an *escape*
+//! channel — and notes the discussion "is valid for other fully adaptive
+//! algorithms as well". Fig. 7 additionally programs an economical-storage
+//! table for **North-Last** partially-adaptive routing (Glass & Ni's turn
+//! model). This crate provides:
+//!
+//! * [`RoutingAlgorithm`] — the per-hop routing relation: adaptive candidate
+//!   ports, the deterministic escape route, and (for tori) the dateline
+//!   escape subclass;
+//! * [`DimensionOrder`] — deterministic XY/XYZ routing (the paper's
+//!   deterministic baseline and Duato's escape function);
+//! * [`DuatoAdaptive`] — minimal fully-adaptive candidates over a
+//!   dimension-order escape;
+//! * [`TurnModel`] — North-Last, West-First and Negative-First
+//!   partially-adaptive routing for 2-D meshes;
+//! * [`cdg`] — channel-dependency-graph construction and cycle detection,
+//!   used to *prove* (exhaustively, per topology instance) that the escape
+//!   networks used here are deadlock-free and that unrestricted minimal
+//!   adaptive routing is not.
+//!
+//! # Example
+//!
+//! ```
+//! use lapses_routing::{DimensionOrder, DuatoAdaptive, RoutingAlgorithm};
+//! use lapses_topology::Mesh;
+//!
+//! let mesh = Mesh::mesh_2d(16, 16);
+//! let here = mesh.id_at(&[1, 1]).unwrap();
+//! let dest = mesh.id_at(&[3, 4]).unwrap();
+//!
+//! let xy = DimensionOrder::new();
+//! assert_eq!(xy.candidates(&mesh, here, dest).len(), 1); // deterministic
+//!
+//! let duato = DuatoAdaptive::new();
+//! assert_eq!(duato.candidates(&mesh, here, dest).len(), 2); // +X and +Y
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdg;
+
+mod algorithms;
+
+pub use algorithms::{
+    torus_dateline_subclass, DimensionOrder, DuatoAdaptive, RoutingAlgorithm, TurnModel,
+    TurnModelKind,
+};

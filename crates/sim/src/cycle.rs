@@ -1,0 +1,143 @@
+//! The simulated clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in router clock cycles.
+///
+/// The paper's Table 2 defines the network cycle time as 1 unit; every
+/// pipeline stage, link traversal and credit return in the simulator is
+/// expressed as an integral number of these cycles. Using a newtype rather
+/// than a bare `u64` keeps cycle arithmetic from being confused with flit
+/// counts or node identifiers.
+///
+/// # Example
+///
+/// ```
+/// use lapses_sim::Cycle;
+///
+/// let start = Cycle::new(10);
+/// let arrival = start + 6; // five pipeline stages + one link cycle
+/// assert_eq!(arrival.duration_since(start), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The first simulated cycle.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle at the given absolute time.
+    #[inline]
+    pub const fn new(t: u64) -> Self {
+        Cycle(t)
+    }
+
+    /// Returns the absolute cycle number.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Advances the clock by one cycle.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Number of cycles elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn duration_since(self, earlier: Cycle) -> u64 {
+        debug_assert!(earlier.0 <= self.0, "duration_since with a later cycle");
+        self.0 - earlier.0
+    }
+
+    /// Saturating difference, returning zero when `earlier` is in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.duration_since(rhs)
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(t: u64) -> Self {
+        Cycle(t)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+        assert_eq!(Cycle::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn add_and_tick_advance_time() {
+        let mut t = Cycle::new(5);
+        t.tick();
+        assert_eq!(t, Cycle::new(6));
+        t += 4;
+        assert_eq!(t, Cycle::new(10));
+        assert_eq!(t + 2, Cycle::new(12));
+    }
+
+    #[test]
+    fn duration_since_measures_elapsed_cycles() {
+        let a = Cycle::new(3);
+        let b = Cycle::new(9);
+        assert_eq!(b.duration_since(a), 6);
+        assert_eq!(b - a, 6);
+        assert_eq!(a.saturating_since(b), 0);
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert_eq!(Cycle::from(7).as_u64(), 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(42).to_string(), "cycle 42");
+    }
+}

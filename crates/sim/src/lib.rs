@@ -1,0 +1,45 @@
+//! Cycle-level simulation kernel for the LAPSES router study.
+//!
+//! This crate contains the domain-independent machinery shared by the rest of
+//! the workspace:
+//!
+//! * [`Cycle`] — the simulated clock, a strongly-typed cycle counter;
+//! * [`stats`] — streaming statistics (Welford mean/variance, histograms,
+//!   percentile estimation) used for latency and utilization reporting;
+//! * [`rng`] — a seeded simulation RNG with the samplers the traffic layer
+//!   needs (exponential inter-arrival times, bounded uniforms);
+//! * [`phase`] — the warm-up / measurement / drain protocol the paper uses
+//!   ("10000 warm-up messages after which statistics was collected over
+//!   400000 message injections");
+//! * [`watchdog`] — progress tracking used to cut off saturated or
+//!   deadlocked configurations, mirroring the paper's "Sat." entries.
+//!
+//! # Example
+//!
+//! ```
+//! use lapses_sim::{Cycle, stats::RunningStats};
+//!
+//! let mut lat = RunningStats::new();
+//! for sample in [5.0, 6.0, 7.0] {
+//!     lat.record(sample);
+//! }
+//! assert_eq!(lat.mean(), 6.0);
+//! let t = Cycle::ZERO + 4;
+//! assert_eq!(t.as_u64(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod phase;
+pub mod rng;
+pub mod stats;
+pub mod watchdog;
+
+mod cycle;
+
+pub use cycle::Cycle;
+pub use phase::{MeasurementPhase, PhaseController};
+pub use rng::SimRng;
+pub use stats::{Histogram, RunningStats};
+pub use watchdog::ProgressWatchdog;

@@ -1,0 +1,242 @@
+//! Warm-up / measurement / drain protocol.
+//!
+//! The paper collects statistics "by injecting 10000 warm-up messages after
+//! which statistics was collected over 400000 message injections". This
+//! module encodes that protocol: messages injected during warm-up are
+//! delivered but never sampled; messages injected during the measurement
+//! window are sampled on delivery; once the measurement quota of injections
+//! is reached the run enters a drain phase that lasts until every measured
+//! message has been delivered (or the watchdog cuts the run off).
+
+use std::fmt;
+
+/// The lifecycle phase of a measurement run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasurementPhase {
+    /// Initial transient: inject, deliver, do not sample.
+    Warmup,
+    /// Steady-state window: injections are tagged for sampling.
+    Measure,
+    /// All measured messages injected; waiting for in-flight ones to land.
+    Drain,
+    /// Every measured message delivered (or the run was cut off).
+    Done,
+}
+
+impl fmt::Display for MeasurementPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MeasurementPhase::Warmup => "warmup",
+            MeasurementPhase::Measure => "measure",
+            MeasurementPhase::Drain => "drain",
+            MeasurementPhase::Done => "done",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Drives the phase transitions of a measurement run.
+///
+/// The controller counts message *injections* to decide phase transitions
+/// (matching the paper's protocol) and message *deliveries* of measured
+/// messages to decide when the drain completes.
+///
+/// # Example
+///
+/// ```
+/// use lapses_sim::{MeasurementPhase, PhaseController};
+///
+/// let mut pc = PhaseController::new(2, 3); // 2 warm-up, 3 measured
+/// assert_eq!(pc.phase(), MeasurementPhase::Warmup);
+/// assert!(!pc.note_injection()); // warm-up msg 1
+/// assert!(!pc.note_injection()); // warm-up msg 2
+/// assert!(pc.note_injection());  // measured msg 1
+/// assert!(pc.note_injection());  // measured msg 2
+/// assert!(pc.note_injection());  // measured msg 3
+/// assert_eq!(pc.phase(), MeasurementPhase::Drain);
+/// for _ in 0..3 { pc.note_measured_delivery(); }
+/// assert_eq!(pc.phase(), MeasurementPhase::Done);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseController {
+    warmup_msgs: u64,
+    measure_msgs: u64,
+    injected: u64,
+    measured_injected: u64,
+    measured_delivered: u64,
+    phase: MeasurementPhase,
+}
+
+impl PhaseController {
+    /// Creates a controller for `warmup_msgs` warm-up injections followed by
+    /// `measure_msgs` measured injections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measure_msgs` is zero — a run that measures nothing is a
+    /// configuration error.
+    pub fn new(warmup_msgs: u64, measure_msgs: u64) -> Self {
+        assert!(measure_msgs > 0, "measurement window must be non-empty");
+        PhaseController {
+            warmup_msgs,
+            measure_msgs,
+            injected: 0,
+            measured_injected: 0,
+            measured_delivered: 0,
+            phase: if warmup_msgs == 0 {
+                MeasurementPhase::Measure
+            } else {
+                MeasurementPhase::Warmup
+            },
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> MeasurementPhase {
+        self.phase
+    }
+
+    /// Whether new messages may still be generated (warm-up or measurement).
+    pub fn accepting_injections(&self) -> bool {
+        matches!(
+            self.phase,
+            MeasurementPhase::Warmup | MeasurementPhase::Measure
+        )
+    }
+
+    /// Registers a message injection. Returns `true` when the message falls
+    /// in the measurement window and must be sampled on delivery.
+    ///
+    /// Calling this after injections close is a simulator bug and panics in
+    /// debug builds; in release the injection is treated as unmeasured.
+    pub fn note_injection(&mut self) -> bool {
+        debug_assert!(
+            self.accepting_injections(),
+            "injection after the measurement window closed"
+        );
+        self.injected += 1;
+        match self.phase {
+            MeasurementPhase::Warmup => {
+                if self.injected >= self.warmup_msgs {
+                    self.phase = MeasurementPhase::Measure;
+                }
+                false
+            }
+            MeasurementPhase::Measure => {
+                self.measured_injected += 1;
+                if self.measured_injected >= self.measure_msgs {
+                    self.phase = MeasurementPhase::Drain;
+                }
+                true
+            }
+            MeasurementPhase::Drain | MeasurementPhase::Done => false,
+        }
+    }
+
+    /// Registers delivery of a *measured* message; advances to
+    /// [`MeasurementPhase::Done`] when all measured messages have landed.
+    pub fn note_measured_delivery(&mut self) {
+        self.measured_delivered += 1;
+        if self.phase == MeasurementPhase::Drain
+            && self.measured_delivered >= self.measured_injected
+        {
+            self.phase = MeasurementPhase::Done;
+        }
+    }
+
+    /// Forces the run to end (used when the watchdog detects saturation).
+    pub fn abort(&mut self) {
+        self.phase = MeasurementPhase::Done;
+    }
+
+    /// Total injections so far (warm-up + measured).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Measured messages injected so far.
+    pub fn measured_injected(&self) -> u64 {
+        self.measured_injected
+    }
+
+    /// Measured messages delivered so far.
+    pub fn measured_delivered(&self) -> u64 {
+        self.measured_delivered
+    }
+
+    /// Measured messages still in flight.
+    pub fn measured_in_flight(&self) -> u64 {
+        self.measured_injected - self.measured_delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_warmup_starts_in_measure() {
+        let pc = PhaseController::new(0, 10);
+        assert_eq!(pc.phase(), MeasurementPhase::Measure);
+        assert!(pc.accepting_injections());
+    }
+
+    #[test]
+    fn warmup_messages_are_not_measured() {
+        let mut pc = PhaseController::new(3, 1);
+        assert!(!pc.note_injection());
+        assert!(!pc.note_injection());
+        assert!(!pc.note_injection());
+        assert_eq!(pc.phase(), MeasurementPhase::Measure);
+        assert!(pc.note_injection());
+        assert_eq!(pc.phase(), MeasurementPhase::Drain);
+    }
+
+    #[test]
+    fn drain_completes_when_all_measured_land() {
+        let mut pc = PhaseController::new(0, 2);
+        assert!(pc.note_injection());
+        // Out-of-order delivery relative to injection is fine.
+        pc.note_measured_delivery();
+        assert_eq!(pc.phase(), MeasurementPhase::Measure);
+        assert!(pc.note_injection());
+        assert_eq!(pc.phase(), MeasurementPhase::Drain);
+        assert_eq!(pc.measured_in_flight(), 1);
+        pc.note_measured_delivery();
+        assert_eq!(pc.phase(), MeasurementPhase::Done);
+        assert!(!pc.accepting_injections());
+    }
+
+    #[test]
+    fn abort_ends_the_run() {
+        let mut pc = PhaseController::new(5, 5);
+        pc.note_injection();
+        pc.abort();
+        assert_eq!(pc.phase(), MeasurementPhase::Done);
+    }
+
+    #[test]
+    fn counters_track_progress() {
+        let mut pc = PhaseController::new(1, 2);
+        pc.note_injection();
+        pc.note_injection();
+        pc.note_injection();
+        assert_eq!(pc.injected(), 3);
+        assert_eq!(pc.measured_injected(), 2);
+        assert_eq!(pc.measured_delivered(), 0);
+        pc.note_measured_delivery();
+        assert_eq!(pc.measured_delivered(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_measure_window_rejected() {
+        let _ = PhaseController::new(1, 0);
+    }
+
+    #[test]
+    fn phase_display_names() {
+        assert_eq!(MeasurementPhase::Warmup.to_string(), "warmup");
+        assert_eq!(MeasurementPhase::Done.to_string(), "done");
+    }
+}

@@ -1,0 +1,198 @@
+//! Seeded simulation randomness.
+//!
+//! Every stochastic decision in the simulator (inter-arrival times,
+//! destination draws, arbiter tie-breaks when configured random) flows
+//! through [`SimRng`] so a run is exactly reproducible from its seed. The
+//! paper's workload uses exponential inter-arrival times (Table 2), provided
+//! here via inverse-transform sampling.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, seedable random source for simulations.
+///
+/// Wraps [`rand::rngs::SmallRng`] (fast, non-cryptographic — appropriate for
+/// simulation) behind the few samplers the workspace needs.
+///
+/// # Example
+///
+/// ```
+/// use lapses_sim::SimRng;
+///
+/// let mut a = SimRng::from_seed(42);
+/// let mut b = SimRng::from_seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let gap = a.exponential(10.0);
+/// assert!(gap >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream; used to give each traffic source
+    /// its own stream so per-node behaviour does not depend on simulation
+    /// interleaving.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        // Mix the salt through SplitMix64 so forks with nearby salts are
+        // decorrelated.
+        let mut z = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::from_seed(z)
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "uniform bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty uniform range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed sample with the given `mean`, via inverse
+    /// transform. Used for the paper's exponential message inter-arrival
+    /// times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // 1 - unit() is in (0, 1], so ln() is finite.
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Chooses an index in `[0, n)` uniformly; `None` when `n == 0`.
+    #[inline]
+    pub fn choose_index(&mut self, n: usize) -> Option<usize> {
+        (n > 0).then(|| self.inner.gen_range(0..n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forks_are_reproducible_and_distinct() {
+        let mut parent1 = SimRng::from_seed(9);
+        let mut parent2 = SimRng::from_seed(9);
+        let mut c1 = parent1.fork(5);
+        let mut c2 = parent2.fork(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+
+        let mut parent = SimRng::from_seed(9);
+        let mut x = parent.fork(1);
+        let mut y = parent.fork(1);
+        // Forks consume parent state, so successive forks differ.
+        assert_ne!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::from_seed(1234);
+        let n = 20_000;
+        let mean = 50.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < mean * 0.05,
+            "observed mean {observed}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = SimRng::from_seed(99);
+        for _ in 0..1000 {
+            assert!(rng.exponential(3.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SimRng::from_seed(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+        for _ in 0..1000 {
+            let v = rng.range(3, 6);
+            assert!((3..6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn choose_index_handles_empty() {
+        let mut rng = SimRng::from_seed(5);
+        assert_eq!(rng.choose_index(0), None);
+        assert!(rng.choose_index(3).unwrap() < 3);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::from_seed(11);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0)); // clamped
+    }
+}

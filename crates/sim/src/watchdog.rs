@@ -1,0 +1,137 @@
+//! Saturation and deadlock cut-off.
+//!
+//! The paper presents results "only for loads leading up to network
+//! saturation" and marks saturated configurations "Sat." (Table 4). The
+//! watchdog provides the two signals the experiment runner uses to make that
+//! call:
+//!
+//! * **stall detection** — no flit moved anywhere in the network for a long
+//!   window while messages are in flight (a true deadlock, which can occur
+//!   with deliberately unsafe configurations, or a pathological stall);
+//! * **backlog growth** — source queues keep growing, meaning the offered
+//!   load exceeds what the network can accept (classic saturation).
+
+use crate::Cycle;
+
+/// Watches simulation progress and flags deadlock or saturation.
+///
+/// # Example
+///
+/// ```
+/// use lapses_sim::{Cycle, ProgressWatchdog};
+///
+/// let mut wd = ProgressWatchdog::new(100, 1_000);
+/// wd.note_progress(Cycle::new(5));
+/// assert!(!wd.is_stalled(Cycle::new(50), true));
+/// assert!(wd.is_stalled(Cycle::new(200), true));   // 195 idle cycles
+/// assert!(!wd.is_stalled(Cycle::new(200), false)); // idle network is fine
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgressWatchdog {
+    stall_window: u64,
+    backlog_limit: u64,
+    last_progress: Cycle,
+    peak_backlog: u64,
+}
+
+impl ProgressWatchdog {
+    /// Creates a watchdog that reports a stall after `stall_window` cycles
+    /// without progress, and saturation when the aggregate source backlog
+    /// exceeds `backlog_limit` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stall_window` is zero.
+    pub fn new(stall_window: u64, backlog_limit: u64) -> Self {
+        assert!(stall_window > 0, "stall window must be positive");
+        ProgressWatchdog {
+            stall_window,
+            backlog_limit,
+            last_progress: Cycle::ZERO,
+            peak_backlog: 0,
+        }
+    }
+
+    /// Records that at least one flit moved during `now`.
+    pub fn note_progress(&mut self, now: Cycle) {
+        self.last_progress = now;
+    }
+
+    /// Records the current aggregate source-queue backlog.
+    pub fn note_backlog(&mut self, backlog: u64) {
+        self.peak_backlog = self.peak_backlog.max(backlog);
+    }
+
+    /// True when the network has been idle for longer than the stall window
+    /// *while traffic is in flight* — an idle network with nothing to do is
+    /// never stalled.
+    pub fn is_stalled(&self, now: Cycle, traffic_in_flight: bool) -> bool {
+        traffic_in_flight && now.saturating_since(self.last_progress) > self.stall_window
+    }
+
+    /// True when a backlog observation has ever exceeded the limit.
+    pub fn is_saturated(&self) -> bool {
+        self.peak_backlog > self.backlog_limit
+    }
+
+    /// Largest backlog observed.
+    pub fn peak_backlog(&self) -> u64 {
+        self.peak_backlog
+    }
+
+    /// Cycle of the most recent progress event.
+    pub fn last_progress(&self) -> Cycle {
+        self.last_progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_watchdog_is_calm() {
+        let wd = ProgressWatchdog::new(10, 100);
+        assert!(!wd.is_stalled(Cycle::new(5), true));
+        assert!(!wd.is_saturated());
+    }
+
+    #[test]
+    fn stall_requires_inflight_traffic() {
+        let mut wd = ProgressWatchdog::new(10, 100);
+        wd.note_progress(Cycle::new(0));
+        assert!(wd.is_stalled(Cycle::new(11), true));
+        assert!(!wd.is_stalled(Cycle::new(11), false));
+    }
+
+    #[test]
+    fn progress_resets_the_clock() {
+        let mut wd = ProgressWatchdog::new(10, 100);
+        wd.note_progress(Cycle::new(0));
+        wd.note_progress(Cycle::new(20));
+        assert!(!wd.is_stalled(Cycle::new(25), true));
+        assert!(wd.is_stalled(Cycle::new(31), true));
+    }
+
+    #[test]
+    fn backlog_saturation_latches() {
+        let mut wd = ProgressWatchdog::new(10, 5);
+        wd.note_backlog(3);
+        assert!(!wd.is_saturated());
+        wd.note_backlog(6);
+        assert!(wd.is_saturated());
+        wd.note_backlog(0); // saturation is sticky: peak is what matters
+        assert!(wd.is_saturated());
+        assert_eq!(wd.peak_backlog(), 6);
+    }
+
+    #[test]
+    fn boundary_is_exclusive() {
+        let mut wd = ProgressWatchdog::new(10, 5);
+        wd.note_progress(Cycle::new(0));
+        // Exactly stall_window cycles of silence is still OK.
+        assert!(!wd.is_stalled(Cycle::new(10), true));
+        wd.note_backlog(5);
+        assert!(!wd.is_saturated());
+    }
+}

@@ -1,0 +1,224 @@
+//! Destination-relative sign vectors — the index space of economical storage.
+
+use crate::coord::{Coord, MAX_DIMS};
+use crate::port::Sign;
+use std::fmt;
+
+/// The per-dimension sign of a destination's position relative to the
+/// current router.
+///
+/// §5.2.1 of the paper: a router computes `s_x = sign(d_x - i_x)` and
+/// `s_y = sign(d_y - i_y)` and uses `(s_x, s_y)` to index a 9-entry table;
+/// generalized, an n-dimensional sign vector indexes a 3ⁿ-entry table.
+/// This type is that index.
+///
+/// # Example
+///
+/// ```
+/// use lapses_topology::{Coord, Sign, SignVec};
+///
+/// let here = Coord::new(&[1, 1]);
+/// let dest = Coord::new(&[2, 0]);
+/// let sv = SignVec::between(&here, &dest);
+/// assert_eq!(sv.sign(0), Sign::Plus);
+/// assert_eq!(sv.sign(1), Sign::Minus);
+/// assert!(sv.table_index() < SignVec::table_len(2)); // 9 entries for 2-D
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignVec {
+    dims: u8,
+    signs: [Sign; MAX_DIMS],
+}
+
+impl SignVec {
+    /// Builds the sign vector of `dest` relative to `here`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates have different dimensionality.
+    pub fn between(here: &Coord, dest: &Coord) -> SignVec {
+        let delta = dest.delta(here);
+        let mut signs = [Sign::Zero; MAX_DIMS];
+        for (i, s) in signs.iter_mut().enumerate().take(here.dims()) {
+            *s = Sign::of(delta[i]);
+        }
+        SignVec {
+            dims: here.dims() as u8,
+            signs,
+        }
+    }
+
+    /// Builds a sign vector directly from per-dimension signs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signs` is empty or longer than [`MAX_DIMS`].
+    pub fn from_signs(signs: &[Sign]) -> SignVec {
+        assert!(
+            !signs.is_empty() && signs.len() <= MAX_DIMS,
+            "sign vector dimensionality must be 1..={MAX_DIMS}"
+        );
+        let mut arr = [Sign::Zero; MAX_DIMS];
+        arr[..signs.len()].copy_from_slice(signs);
+        SignVec {
+            dims: signs.len() as u8,
+            signs: arr,
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// Sign for dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    #[inline]
+    pub fn sign(&self, dim: usize) -> Sign {
+        assert!(dim < self.dims(), "dimension {dim} out of range");
+        self.signs[dim]
+    }
+
+    /// Whether every component is `Zero` (destination is the current node).
+    pub fn is_here(&self) -> bool {
+        self.signs[..self.dims()].iter().all(|s| *s == Sign::Zero)
+    }
+
+    /// Dense table index in `[0, 3^dims)`, computed base-3 with dimension 0
+    /// as the least-significant digit.
+    pub fn table_index(&self) -> usize {
+        let mut idx = 0usize;
+        for dim in (0..self.dims()).rev() {
+            idx = idx * 3 + self.signs[dim].digit();
+        }
+        idx
+    }
+
+    /// Number of table entries an economical-storage table needs for `dims`
+    /// dimensions: `3^dims` — 9 for 2-D meshes, 27 for 3-D (the paper's
+    /// headline numbers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is zero or exceeds [`MAX_DIMS`].
+    pub fn table_len(dims: usize) -> usize {
+        assert!(
+            dims >= 1 && dims <= MAX_DIMS,
+            "dimensionality must be 1..={MAX_DIMS}"
+        );
+        3usize.pow(dims as u32)
+    }
+
+    /// Reconstructs the sign vector with table index `index` for `dims`
+    /// dimensions — the inverse of [`SignVec::table_index`]. Used when
+    /// enumerating or programming economical-storage tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3^dims` or `dims` is out of range.
+    pub fn from_table_index(index: usize, dims: usize) -> SignVec {
+        assert!(index < Self::table_len(dims), "table index out of range");
+        let mut signs = [Sign::Zero; MAX_DIMS];
+        let mut rest = index;
+        for s in signs.iter_mut().take(dims) {
+            *s = match rest % 3 {
+                0 => Sign::Zero,
+                1 => Sign::Plus,
+                _ => Sign::Minus,
+            };
+            rest /= 3;
+        }
+        SignVec {
+            dims: dims as u8,
+            signs,
+        }
+    }
+
+    /// Iterates `(dimension, sign)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Sign)> + '_ {
+        self.signs[..self.dims()]
+            .iter()
+            .copied()
+            .enumerate()
+    }
+}
+
+impl fmt::Display for SignVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, s) in self.iter() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn between_computes_componentwise_signs() {
+        let here = Coord::new(&[5, 5, 5]);
+        let dest = Coord::new(&[7, 5, 1]);
+        let sv = SignVec::between(&here, &dest);
+        assert_eq!(sv.sign(0), Sign::Plus);
+        assert_eq!(sv.sign(1), Sign::Zero);
+        assert_eq!(sv.sign(2), Sign::Minus);
+        assert!(!sv.is_here());
+    }
+
+    #[test]
+    fn is_here_when_all_zero() {
+        let c = Coord::new(&[3, 3]);
+        assert!(SignVec::between(&c, &c).is_here());
+    }
+
+    #[test]
+    fn table_len_matches_paper_headline() {
+        assert_eq!(SignVec::table_len(2), 9);
+        assert_eq!(SignVec::table_len(3), 27);
+    }
+
+    #[test]
+    fn table_index_is_a_bijection() {
+        for dims in 1..=3 {
+            let mut seen = vec![false; SignVec::table_len(dims)];
+            // Enumerate all sign vectors via from_table_index and check
+            // roundtrip.
+            for idx in 0..SignVec::table_len(dims) {
+                let sv = SignVec::from_table_index(idx, dims);
+                assert_eq!(sv.table_index(), idx);
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+            assert!(seen.into_iter().all(|b| b));
+        }
+    }
+
+    #[test]
+    fn origin_maps_to_index_zero() {
+        let sv = SignVec::from_signs(&[Sign::Zero, Sign::Zero]);
+        assert_eq!(sv.table_index(), 0);
+        assert!(sv.is_here());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_table_index_validates() {
+        let _ = SignVec::from_table_index(9, 2);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let sv = SignVec::from_signs(&[Sign::Plus, Sign::Minus]);
+        assert_eq!(sv.to_string(), "(+,-)");
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-node message generation.
+
+use crate::arrivals::ArrivalProcess;
+use crate::lengths::LengthDistribution;
+use crate::patterns::TrafficPattern;
+use lapses_sim::{Cycle, SimRng};
+use lapses_topology::{Mesh, NodeId};
+
+/// A message to be injected: source, destination and length in flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageSpec {
+    /// Injecting node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Message length in flits (head + body + tail).
+    pub length: u32,
+}
+
+/// Per-node traffic generator.
+///
+/// Owns the node's private random stream and its position on the
+/// real-valued arrival timeline. Each simulated cycle the network polls the
+/// generator; all arrivals whose (fractional) timestamps have passed are
+/// returned. Nodes that are silent under a deterministic pattern (e.g.
+/// diagonal nodes under transpose) consume arrivals without emitting
+/// messages, so pattern changes never perturb other nodes' streams.
+///
+/// # Example
+///
+/// ```
+/// use lapses_sim::{Cycle, SimRng};
+/// use lapses_topology::{Mesh, NodeId};
+/// use lapses_traffic::arrivals::Periodic;
+/// use lapses_traffic::patterns::Uniform;
+/// use lapses_traffic::{Generator, LengthDistribution};
+///
+/// let mesh = Mesh::mesh_2d(4, 4);
+/// let mut rng = SimRng::from_seed(1);
+/// let mut generator = Generator::new(NodeId(0), rng.fork(0));
+/// let msgs = generator.poll(
+///     Cycle::new(10),
+///     &mesh,
+///     &Uniform::new(),
+///     &Periodic::new(4.0),
+///     LengthDistribution::Fixed(20),
+/// );
+/// assert_eq!(msgs.len(), 2); // arrivals at t=4 and t=8
+/// ```
+#[derive(Debug)]
+pub struct Generator {
+    src: NodeId,
+    rng: SimRng,
+    next_arrival: Option<f64>,
+    generated: u64,
+}
+
+impl Generator {
+    /// Creates a generator for node `src` with its own random stream.
+    pub fn new(src: NodeId, rng: SimRng) -> Self {
+        Generator {
+            src,
+            rng,
+            next_arrival: None,
+            generated: 0,
+        }
+    }
+
+    /// The node this generator injects from.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Messages generated so far (including suppressed self-targets).
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Returns every message whose arrival time is at or before `now`.
+    pub fn poll(
+        &mut self,
+        now: Cycle,
+        mesh: &Mesh,
+        pattern: &dyn TrafficPattern,
+        arrivals: &dyn ArrivalProcess,
+        lengths: LengthDistribution,
+    ) -> Vec<MessageSpec> {
+        let now = now.as_u64() as f64;
+        let mut out = Vec::new();
+        // Lazily draw the first gap so construction order does not matter.
+        let mut next = match self.next_arrival {
+            Some(t) => t,
+            None => arrivals.next_gap(&mut self.rng),
+        };
+        while next <= now {
+            self.generated += 1;
+            if let Some(dest) = pattern.destination(mesh, self.src, &mut self.rng) {
+                out.push(MessageSpec {
+                    src: self.src,
+                    dest,
+                    length: lengths.sample(&mut self.rng),
+                });
+            }
+            next += arrivals.next_gap(&mut self.rng);
+        }
+        self.next_arrival = Some(next);
+        out
+    }
+
+    /// Offered-load helper: the mean inter-arrival gap in cycles that
+    /// realizes `normalized_load` on `mesh`, for the given mean message
+    /// length.
+    ///
+    /// Normalized load follows the paper's definition: 1.0 is the per-node
+    /// *flit* injection rate that saturates the bisection under uniform
+    /// traffic ([`Mesh::saturation_injection_rate`]); the message rate
+    /// divides that by the mean message length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `normalized_load` or `mean_length` is not positive.
+    pub fn mean_gap_for_load(mesh: &Mesh, normalized_load: f64, mean_length: f64) -> f64 {
+        assert!(normalized_load > 0.0, "load must be positive");
+        assert!(mean_length > 0.0, "message length must be positive");
+        let flit_rate = normalized_load * mesh.saturation_injection_rate();
+        mean_length / flit_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{Exponential, Periodic};
+    use crate::patterns::{Transpose, Uniform};
+
+    fn mesh16() -> Mesh {
+        Mesh::mesh_2d(16, 16)
+    }
+
+    #[test]
+    fn periodic_arrivals_are_counted_exactly() {
+        let mesh = mesh16();
+        let mut g = Generator::new(NodeId(5), SimRng::from_seed(9));
+        let msgs = g.poll(
+            Cycle::new(100),
+            &mesh,
+            &Uniform::new(),
+            &Periodic::new(10.0),
+            LengthDistribution::Fixed(20),
+        );
+        assert_eq!(msgs.len(), 10); // t = 10, 20, ..., 100
+        for m in &msgs {
+            assert_eq!(m.src, NodeId(5));
+            assert_eq!(m.length, 20);
+            assert_ne!(m.dest, m.src);
+        }
+        // Nothing new until the next period boundary.
+        let more = g.poll(
+            Cycle::new(109),
+            &mesh,
+            &Uniform::new(),
+            &Periodic::new(10.0),
+            LengthDistribution::Fixed(20),
+        );
+        assert!(more.is_empty());
+    }
+
+    #[test]
+    fn exponential_rate_is_respected() {
+        let mesh = mesh16();
+        let mut g = Generator::new(NodeId(0), SimRng::from_seed(11));
+        let horizon = 200_000u64;
+        let msgs = g.poll(
+            Cycle::new(horizon),
+            &mesh,
+            &Uniform::new(),
+            &Exponential::new(50.0),
+            LengthDistribution::Fixed(20),
+        );
+        let rate = msgs.len() as f64 / horizon as f64;
+        assert!((rate - 0.02).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn silent_nodes_consume_but_do_not_emit() {
+        let mesh = mesh16();
+        let diag = mesh.id_at(&[7, 7]).unwrap();
+        let mut g = Generator::new(diag, SimRng::from_seed(3));
+        let msgs = g.poll(
+            Cycle::new(1000),
+            &mesh,
+            &Transpose::new(),
+            &Periodic::new(10.0),
+            LengthDistribution::Fixed(20),
+        );
+        assert!(msgs.is_empty());
+        assert_eq!(g.generated(), 100);
+    }
+
+    #[test]
+    fn mean_gap_matches_paper_normalization() {
+        let mesh = mesh16();
+        // Load 1.0, 20-flit messages: 0.25 flits/node/cycle = 80-cycle gaps.
+        let gap = Generator::mean_gap_for_load(&mesh, 1.0, 20.0);
+        assert!((gap - 80.0).abs() < 1e-9);
+        // Load 0.2: five times sparser.
+        let gap = Generator::mean_gap_for_load(&mesh, 0.2, 20.0);
+        assert!((gap - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let mesh = mesh16();
+        let run = |seed| {
+            let mut g = Generator::new(NodeId(1), SimRng::from_seed(seed));
+            g.poll(
+                Cycle::new(5000),
+                &mesh,
+                &Uniform::new(),
+                &Exponential::new(25.0),
+                LengthDistribution::Fixed(20),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,48 @@
+//! Path-selection heuristics under adversarial traffic.
+//!
+//! When the adaptive routing relation offers two productive ports, which
+//! one should the router take? This example pits the paper's five
+//! heuristics against each other on transpose traffic — the workload whose
+//! diagonal symmetry rewards balancing — and prints the per-heuristic
+//! latency plus how often the heuristic actually had a choice to make.
+//!
+//! ```text
+//! cargo run --release --example path_selection
+//! ```
+
+use lapses::prelude::*;
+
+fn main() {
+    println!("Path-selection heuristics — 16x16 mesh, transpose traffic\n");
+    println!(
+        "{:<12} {:>11} {:>11} {:>14}",
+        "heuristic", "lat @0.2", "lat @0.35", "choices made"
+    );
+
+    for psh in PathSelection::paper_five() {
+        let run = |load: f64| {
+            SimConfig::paper_adaptive(16, 16)
+                .with_path_selection(psh)
+                .with_pattern(Pattern::Transpose)
+                .with_load(load)
+                .with_message_counts(500, 5_000)
+                .run()
+        };
+        let lo = run(0.2);
+        let hi = run(0.35);
+        println!(
+            "{:<12} {:>11} {:>11} {:>13.1}%",
+            psh.name(),
+            lo.latency_cell(),
+            hi.latency_cell(),
+            hi.choice_fraction * 100.0
+        );
+    }
+
+    println!(
+        "\nTraffic-sensitive selection (LRU / MAX-CREDIT / LFU / MIN-MUX) \
+         beats STATIC-XY decisively\nonce load grows — the paper's Fig. 6. \
+         LRU and MAX-CREDIT need only small counters, making\nthem the \
+         paper's recommended choices."
+    );
+}

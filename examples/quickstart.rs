@@ -1,0 +1,36 @@
+//! Quickstart: simulate the paper's LA-ADAPT router and print a summary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lapses::prelude::*;
+
+fn main() {
+    // The paper's adaptive look-ahead router (LA-PROUD, Duato's algorithm,
+    // 4 VCs, 20-flit messages) on the paper's 16x16 mesh.
+    let config = SimConfig::paper_adaptive_lookahead(16, 16)
+        .with_pattern(Pattern::Uniform)
+        .with_load(0.2)
+        .with_message_counts(1_000, 10_000);
+
+    let start = std::time::Instant::now();
+    let result = config.run();
+    let wall = start.elapsed();
+
+    println!("LAPSES quickstart — 16x16 mesh, uniform traffic, load 0.2");
+    println!("  average network latency : {:.1} cycles", result.avg_latency);
+    println!(
+        "  incl. source queueing   : {:.1} cycles",
+        result.avg_total_latency
+    );
+    println!(
+        "  p95 latency             : {:.0} cycles",
+        result.p95_latency.unwrap_or(f64::NAN)
+    );
+    println!("  throughput              : {:.4} flits/node/cycle", result.throughput);
+    println!("  messages measured       : {}", result.messages);
+    println!("  simulated cycles        : {}", result.cycles);
+    println!("  escape-channel fraction : {:.3}", result.escape_fraction);
+    println!("  wall time               : {wall:.2?}");
+}

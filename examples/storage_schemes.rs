@@ -1,0 +1,61 @@
+//! Routing-table storage schemes: cost vs performance.
+//!
+//! Shows the §5 trade-off in one screen: per-router table sizes of the
+//! four storage schemes, then their measured latency on transpose traffic —
+//! demonstrating that the 9-entry economical table exactly matches the
+//! 256-entry full table while meta-tables pay dearly at cluster
+//! boundaries.
+//!
+//! ```text
+//! cargo run --release --example storage_schemes
+//! ```
+
+use lapses::core::tables::scheme_comparison;
+use lapses::prelude::*;
+
+fn main() {
+    let mesh = Mesh::mesh_2d(16, 16);
+
+    println!("Storage cost per router on a {mesh} (Table 5):\n");
+    println!(
+        "{:<12} {:>14} {:>12} {:>13}",
+        "scheme", "entries/router", "bits/router", "bits w/ LA"
+    );
+    for row in scheme_comparison(&mesh, 16 + 16) {
+        println!(
+            "{:<12} {:>14} {:>12} {:>13}",
+            row.scheme,
+            row.storage.entries_per_router,
+            row.storage.bits_per_router(),
+            row.storage.lookahead_bits_per_router()
+        );
+    }
+
+    println!("\nMeasured latency, adaptive routing, transpose traffic (Table 4):\n");
+    println!("{:<22} {:>9} {:>9}", "table scheme", "load 0.1", "load 0.3");
+    let schemes: [(&str, TableKind); 4] = [
+        ("full (256 entries)", TableKind::Full),
+        ("economical (9)", TableKind::Economical),
+        ("meta rows (32)", TableKind::MetaRows),
+        ("meta 4x4 blocks (32)", TableKind::MetaBlocks(vec![4, 4])),
+    ];
+    for (name, kind) in schemes {
+        let run = |load: f64| {
+            SimConfig::paper_adaptive(16, 16)
+                .with_table(kind.clone())
+                .with_pattern(Pattern::Transpose)
+                .with_load(load)
+                .with_message_counts(500, 5_000)
+                .run()
+                .latency_cell()
+        };
+        println!("{:<22} {:>9} {:>9}", name, run(0.1), run(0.3));
+    }
+
+    println!(
+        "\nEconomical storage: 28x fewer entries than the full table, \
+         identical latency —\nthe paper's punchline. The 'maximal \
+         flexibility' meta labeling is the worst of all\nbecause messages \
+         lose adaptivity exactly where congestion forms (cluster borders)."
+    );
+}

@@ -1,0 +1,34 @@
+//! A full latency-vs-load sweep rendered as a paper-style table plus an
+//! ASCII chart — the quickest way to *see* the Fig. 5 crossover between
+//! deterministic and adaptive routing.
+//!
+//! ```text
+//! cargo run --release --example sweep_report
+//! ```
+
+use lapses::network::SweepReport;
+use lapses::prelude::*;
+
+fn main() {
+    let loads = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut report = SweepReport::new();
+
+    for (label, mk) in [
+        ("LA, DET", SimConfig::paper_deterministic_lookahead as fn(u16, u16) -> SimConfig),
+        ("LA, ADAPT", SimConfig::paper_adaptive_lookahead),
+    ] {
+        let sweep = mk(16, 16)
+            .with_pattern(Pattern::Transpose)
+            .with_message_counts(400, 4_000)
+            .sweep(&loads);
+        report.push(label, sweep);
+    }
+
+    println!("Transpose traffic on a 16x16 mesh — deterministic vs adaptive:\n");
+    println!("{}", report.to_table());
+    println!("{}", report.to_chart(12));
+    println!(
+        "The adaptive curve stays flat well past the load where dimension-\n\
+         order routing takes off — the Fig. 5(b) story."
+    );
+}

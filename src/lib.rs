@@ -1,0 +1,66 @@
+//! # LAPSES — a reproduction of the HPCA 1999 adaptive-router recipe
+//!
+//! This crate is the front door of a full reproduction of *"LAPSES: A
+//! Recipe for High Performance Adaptive Router Design"* (Vaidya,
+//! Sivasubramaniam, Das; HPCA 1999): **L**ook-**A**head routing,
+//! intelligent **P**ath **SE**lection, and economical **S**torage for
+//! table-based adaptive wormhole routers, evaluated on a cycle-level
+//! 16×16-mesh network simulator rebuilt from the paper's description.
+//!
+//! The implementation lives in focused crates, re-exported here:
+//!
+//! * [`sim`] — simulation kernel: clock, statistics, RNG, measurement
+//!   protocol, saturation watchdog;
+//! * [`topology`] — n-dimensional meshes and tori, ports, sign vectors,
+//!   cluster labelings;
+//! * [`routing`] — XY / Duato / turn-model routing relations and
+//!   channel-dependency-graph deadlock analysis;
+//! * [`traffic`] — the paper's four synthetic patterns (plus extras),
+//!   arrival processes, message-length distributions;
+//! * [`core`] — **the paper's contribution**: the PROUD and LA-PROUD
+//!   router pipelines, the five path-selection heuristics, and the four
+//!   table-storage schemes including the 9-entry economical table;
+//! * [`network`] — the assembled network simulator and experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lapses::prelude::*;
+//!
+//! // The paper's LA-ADAPT router on a small mesh, uniform traffic at 20%
+//! // of bisection saturation.
+//! let result = SimConfig::paper_adaptive_lookahead(8, 8)
+//!     .with_pattern(Pattern::Uniform)
+//!     .with_load(0.2)
+//!     .with_message_counts(200, 2_000)
+//!     .run();
+//! println!("average network latency: {:.1} cycles", result.avg_latency);
+//! assert!(!result.saturated);
+//! ```
+//!
+//! The `lapses-bench` crate regenerates every table and figure of the
+//! paper's evaluation; see `EXPERIMENTS.md` at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lapses_core as core;
+pub use lapses_network as network;
+pub use lapses_routing as routing;
+pub use lapses_sim as sim;
+pub use lapses_topology as topology;
+pub use lapses_traffic as traffic;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use lapses_core::psh::PathSelection;
+    pub use lapses_core::tables::{
+        EconomicalTable, FullTable, IntervalTable, MetaTable, TableScheme,
+    };
+    pub use lapses_core::{PipelineModel, RouterConfig};
+    pub use lapses_network::{Algorithm, Pattern, SimConfig, SimResult, TableKind};
+    pub use lapses_routing::{DimensionOrder, DuatoAdaptive, RoutingAlgorithm};
+    pub use lapses_sim::{Cycle, SimRng};
+    pub use lapses_topology::{Mesh, NodeId, Port, PortSet};
+    pub use lapses_traffic::{LengthDistribution, TrafficPattern};
+}

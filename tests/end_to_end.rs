@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: whole-network behaviour of the four
+//! router configurations of the paper's Fig. 5, table-scheme equivalence,
+//! and reproducibility.
+
+use lapses::prelude::*;
+
+fn fast(cfg: SimConfig) -> SimConfig {
+    cfg.with_message_counts(300, 2_500).with_seed(2026)
+}
+
+#[test]
+fn all_four_router_configs_deliver_on_all_paper_patterns() {
+    let makers: [fn(u16, u16) -> SimConfig; 4] = [
+        SimConfig::paper_deterministic,
+        SimConfig::paper_deterministic_lookahead,
+        SimConfig::paper_adaptive,
+        SimConfig::paper_adaptive_lookahead,
+    ];
+    for mk in makers {
+        for pattern in [
+            Pattern::Uniform,
+            Pattern::Transpose,
+            Pattern::BitReversal,
+            Pattern::PerfectShuffle,
+        ] {
+            let r = fast(mk(8, 8)).with_pattern(pattern).with_load(0.15).run();
+            assert!(
+                !r.saturated,
+                "{pattern:?} saturated at low load — simulator bug"
+            );
+            assert_eq!(r.messages, 2_500);
+            assert!(r.avg_latency > 10.0 && r.avg_latency < 500.0);
+        }
+    }
+}
+
+#[test]
+fn lookahead_gain_is_one_cycle_per_hop_at_zero_load() {
+    // At vanishingly small load the LA gain must equal the average hop
+    // count plus one (one saved stage per traversed router).
+    let proud = fast(SimConfig::paper_adaptive(8, 8)).with_load(0.02).run();
+    let la = fast(SimConfig::paper_adaptive_lookahead(8, 8))
+        .with_load(0.02)
+        .run();
+    // Uniform 8x8: mean distance = 2 * (64-1)/(3*8) = 5.25 hops,
+    // 6.25 routers on average.
+    let gain = proud.avg_latency - la.avg_latency;
+    assert!(
+        (5.8..6.7).contains(&gain),
+        "expected ~6.25 cycles of gain, got {gain}"
+    );
+}
+
+#[test]
+fn adaptive_beats_deterministic_on_transpose_at_load() {
+    let det = fast(SimConfig::paper_deterministic(16, 16))
+        .with_pattern(Pattern::Transpose)
+        .with_load(0.3)
+        .with_message_counts(500, 5_000)
+        .run();
+    let adpt = fast(SimConfig::paper_adaptive(16, 16))
+        .with_pattern(Pattern::Transpose)
+        .with_load(0.3)
+        .with_message_counts(500, 5_000)
+        .run();
+    assert!(
+        adpt.avg_latency * 1.4 < det.avg_latency,
+        "adaptive {} should be well under deterministic {}",
+        adpt.avg_latency,
+        det.avg_latency
+    );
+}
+
+#[test]
+fn economical_storage_is_bit_identical_to_full_table() {
+    // The §5.2.2 claim, end to end: same relation + same seed => exactly
+    // the same simulation.
+    for pattern in [Pattern::Uniform, Pattern::Transpose] {
+        let full = fast(SimConfig::paper_adaptive(8, 8))
+            .with_table(TableKind::Full)
+            .with_pattern(pattern)
+            .with_load(0.3)
+            .run();
+        let econ = fast(SimConfig::paper_adaptive(8, 8))
+            .with_table(TableKind::Economical)
+            .with_pattern(pattern)
+            .with_load(0.3)
+            .run();
+        assert_eq!(full.avg_latency, econ.avg_latency, "{pattern:?}");
+        assert_eq!(full.cycles, econ.cycles, "{pattern:?}");
+        assert_eq!(full.max_latency, econ.max_latency, "{pattern:?}");
+    }
+}
+
+#[test]
+fn meta_blocks_loses_to_meta_rows_on_transpose() {
+    // The paper's counter-intuitive Table 4 result.
+    let rows = fast(SimConfig::paper_adaptive(16, 16))
+        .with_table(TableKind::MetaRows)
+        .with_pattern(Pattern::Transpose)
+        .with_load(0.2)
+        .run();
+    let blocks = fast(SimConfig::paper_adaptive(16, 16))
+        .with_table(TableKind::MetaBlocks(vec![4, 4]))
+        .with_pattern(Pattern::Transpose)
+        .with_load(0.2)
+        .run();
+    let blocks_latency = if blocks.saturated {
+        f64::INFINITY
+    } else {
+        blocks.avg_latency
+    };
+    assert!(
+        blocks_latency > rows.avg_latency,
+        "blocks {} should trail rows {}",
+        blocks_latency,
+        rows.avg_latency
+    );
+}
+
+#[test]
+fn interval_routing_behaves_like_a_deterministic_router() {
+    let r = fast(SimConfig::paper_deterministic(8, 8))
+        .with_table(TableKind::Interval)
+        .with_load(0.2)
+        .run();
+    assert!(!r.saturated);
+    assert_eq!(r.choice_fraction, 0.0, "interval routing has no choices");
+}
+
+#[test]
+fn turn_model_routing_runs_without_escape_vcs() {
+    let mut cfg = fast(SimConfig::paper_adaptive(8, 8)).with_load(0.2);
+    cfg.algorithm = Algorithm::NorthLast;
+    cfg.router = RouterConfig::paper_deterministic(); // 0 escape VCs
+    let r = cfg.run();
+    assert!(!r.saturated);
+    assert_eq!(r.escape_fraction, 0.0);
+}
+
+#[test]
+fn results_reproduce_exactly_across_runs() {
+    let mk = || {
+        fast(SimConfig::paper_adaptive_lookahead(8, 8))
+            .with_pattern(Pattern::BitReversal)
+            .with_load(0.25)
+            .run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.avg_latency, b.avg_latency);
+    assert_eq!(a.p99_latency, b.p99_latency);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn different_seeds_give_statistically_close_latencies() {
+    let at = |seed: u64| {
+        SimConfig::paper_adaptive(8, 8)
+            .with_load(0.2)
+            .with_message_counts(300, 3_000)
+            .with_seed(seed)
+            .run()
+            .avg_latency
+    };
+    let a = at(1);
+    let b = at(2);
+    assert!(
+        (a - b).abs() / a < 0.05,
+        "seeds disagree too much: {a} vs {b}"
+    );
+}
+
+#[test]
+fn hotspot_traffic_congests_the_hotspot_links() {
+    let r = fast(SimConfig::paper_adaptive(8, 8))
+        .with_pattern(Pattern::Hotspot {
+            node: 27,
+            probability: 0.2,
+        })
+        .with_load(0.15)
+        .run();
+    assert!(!r.saturated);
+    // The hotspot drives the busiest link well above the average.
+    assert!(r.max_link_utilization > 0.1);
+}
+
+#[test]
+fn escape_channels_engage_under_pressure() {
+    let r = fast(SimConfig::paper_adaptive(8, 8))
+        .with_pattern(Pattern::Transpose)
+        .with_load(0.4)
+        .run();
+    // At high adaptive load some headers must fall back to escape VCs.
+    assert!(r.escape_fraction > 0.0, "escape VCs never engaged");
+}
