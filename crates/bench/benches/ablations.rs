@@ -29,8 +29,14 @@ fn main() {
     for (name, kind) in [
         ("static-xy", PathSelection::StaticXy),
         ("random", PathSelection::Random),
-        ("max-credit(sum)", PathSelection::MaxCredit(CreditAggregate::Sum)),
-        ("max-credit(max)", PathSelection::MaxCredit(CreditAggregate::Max)),
+        (
+            "max-credit(sum)",
+            PathSelection::MaxCredit(CreditAggregate::Sum),
+        ),
+        (
+            "max-credit(max)",
+            PathSelection::MaxCredit(CreditAggregate::Max),
+        ),
         ("lfu(per-flit)", PathSelection::Lfu(LfuCounting::PerFlit)),
         ("lfu(per-msg)", PathSelection::Lfu(LfuCounting::PerMessage)),
         ("lru", PathSelection::Lru),

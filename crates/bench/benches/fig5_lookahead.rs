@@ -11,10 +11,12 @@
 //! routers win decisively at high load.
 
 use lapses_bench::{paper_loads, with_bench_counts, Table};
-use lapses_network::{Pattern, SimConfig, SimResult};
+use lapses_network::{Pattern, SimConfig, SimResult, SweepGrid, SweepRunner};
+
+type ConfigMaker = fn(u16, u16) -> SimConfig;
 
 fn main() {
-    let configs: [(&str, fn(u16, u16) -> SimConfig); 4] = [
+    let configs: [(&str, ConfigMaker); 4] = [
         ("NO LA, DET", SimConfig::paper_deterministic),
         ("NO LA, ADAPT", SimConfig::paper_adaptive),
         ("LA, DET", SimConfig::paper_deterministic_lookahead),
@@ -22,6 +24,25 @@ fn main() {
     ];
 
     println!("== Figure 5: look-ahead x adaptivity, 16x16 mesh, 20-flit messages ==\n");
+
+    // One grid over every (pattern, configuration, load) cell, executed on
+    // all cores. Point seeds stay at the config default so each load is a
+    // paired comparison across the four routers, exactly as the sequential
+    // sweeps ran it.
+    let mut grid = SweepGrid::new();
+    for pattern in Pattern::PAPER_FOUR {
+        for (name, mk) in configs {
+            grid = grid.series(
+                format!("{}/{}", pattern.name(), name),
+                with_bench_counts(mk(16, 16).with_pattern(pattern)),
+                paper_loads(pattern),
+            );
+        }
+    }
+    let report = SweepRunner::new().run(&grid);
+    let series = |pattern: Pattern, name: &str| -> Vec<(f64, SimResult)> {
+        lapses_bench::series_points(&report, &format!("{}/{}", pattern.name(), name))
+    };
 
     let mut absolute = Table::new(&[
         "pattern",
@@ -34,10 +55,9 @@ fn main() {
 
     for pattern in Pattern::PAPER_FOUR {
         let loads = paper_loads(pattern);
-        // Sweep each router configuration (stopping at saturation).
         let sweeps: Vec<Vec<(f64, SimResult)>> = configs
             .iter()
-            .map(|(_, mk)| with_bench_counts(mk(16, 16).with_pattern(pattern)).sweep(loads))
+            .map(|(name, _)| series(pattern, name))
             .collect();
 
         let mut fig = Table::new(&[

@@ -7,35 +7,40 @@
 //! lower latency at medium-to-high load, with MAX-CREDIT typically between
 //! LFU and LRU.
 
-use lapses_bench::{paper_loads, with_bench_counts, Table};
+use lapses_bench::{paper_loads, series_points, with_bench_counts, Table};
 use lapses_core::psh::PathSelection;
-use lapses_network::{Pattern, SimConfig, SimResult};
+use lapses_network::{Pattern, SimConfig, SimResult, SweepGrid, SweepRunner};
 
 fn main() {
     println!("== Figure 6: path-selection heuristics, adaptive 16x16 mesh ==\n");
+
+    // All (pattern, heuristic, load) cells as one parallel grid; point
+    // seeds stay at the config default so heuristics are compared on
+    // identical workloads.
+    let mut grid = SweepGrid::new();
+    for pattern in Pattern::PAPER_FOUR {
+        for &psh in PathSelection::paper_five().iter() {
+            grid = grid.series(
+                format!("{}/{}", pattern.name(), psh.name()),
+                with_bench_counts(
+                    SimConfig::paper_adaptive(16, 16)
+                        .with_pattern(pattern)
+                        .with_path_selection(psh),
+                ),
+                paper_loads(pattern),
+            );
+        }
+    }
+    let report = SweepRunner::new().run(&grid);
 
     for pattern in Pattern::PAPER_FOUR {
         let loads = paper_loads(pattern);
         let sweeps: Vec<Vec<(f64, SimResult)>> = PathSelection::paper_five()
             .iter()
-            .map(|&psh| {
-                with_bench_counts(
-                    SimConfig::paper_adaptive(16, 16)
-                        .with_pattern(pattern)
-                        .with_path_selection(psh),
-                )
-                .sweep(loads)
-            })
+            .map(|&psh| series_points(&report, &format!("{}/{}", pattern.name(), psh.name())))
             .collect();
 
-        let mut fig = Table::new(&[
-            "load",
-            "Static-XY",
-            "Min-Mux",
-            "LFU",
-            "LRU",
-            "MAX-CREDIT",
-        ]);
+        let mut fig = Table::new(&["load", "Static-XY", "Min-Mux", "LFU", "LRU", "MAX-CREDIT"]);
         for (i, &load) in loads.iter().enumerate() {
             // Stop once every heuristic has saturated.
             let cells: Vec<String> = sweeps

@@ -10,9 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lapses_core::psh::{PathSelection, PathSelector, PortStatus};
-use lapses_core::tables::{
-    EconomicalTable, FullTable, IntervalTable, MetaTable, TableScheme,
-};
+use lapses_core::tables::{EconomicalTable, FullTable, IntervalTable, MetaTable, TableScheme};
 use lapses_network::{Pattern, SimConfig};
 use lapses_routing::DuatoAdaptive;
 use lapses_sim::SimRng;
@@ -24,8 +22,14 @@ fn bench_table_lookup(c: &mut Criterion) {
     let algo = DuatoAdaptive::new();
     let schemes: Vec<(&str, Box<dyn TableScheme>)> = vec![
         ("full", Box::new(FullTable::program(&mesh, &algo))),
-        ("economical", Box::new(EconomicalTable::program(&mesh, &algo))),
-        ("meta-4x4", Box::new(MetaTable::blocks(&mesh, &[4, 4], &algo))),
+        (
+            "economical",
+            Box::new(EconomicalTable::program(&mesh, &algo)),
+        ),
+        (
+            "meta-4x4",
+            Box::new(MetaTable::blocks(&mesh, &[4, 4], &algo)),
+        ),
         ("interval", Box::new(IntervalTable::program(&mesh))),
     ];
     let mut group = c.benchmark_group("table_lookup");
@@ -40,7 +44,7 @@ fn bench_table_lookup(c: &mut Criterion) {
             .collect()
     };
     for (name, scheme) in &schemes {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             let mut i = 0usize;
             b.iter(|| {
                 let (node, dest) = pairs[i % pairs.len()];

@@ -13,8 +13,8 @@
 //! * on non-uniform traffic the meta variants saturate far earlier than
 //!   full-table/ES.
 
-use lapses_bench::{with_bench_counts, Table};
-use lapses_network::{Pattern, SimConfig, TableKind};
+use lapses_bench::{series_points, with_bench_counts, Table};
+use lapses_network::{Pattern, SimConfig, SweepGrid, SweepRunner, TableKind};
 
 fn main() {
     println!("== Table 4: table-storage scheme comparison, adaptive 16x16 mesh ==\n");
@@ -35,6 +35,25 @@ fn main() {
         (Pattern::BitReversal, &[0.1, 0.2, 0.3, 0.4]),
     ];
 
+    // One parallel grid over every (pattern, scheme, load) cell. No master
+    // seed: full-table and economical storage must run from the *same*
+    // per-config seed so the §5.2.2 bit-for-bit identity is visible.
+    let mut grid = SweepGrid::new();
+    for (pattern, loads) in cases.iter() {
+        for (name, kind) in schemes.iter() {
+            grid = grid.series(
+                format!("{}/{}", pattern.name(), name),
+                with_bench_counts(
+                    SimConfig::paper_adaptive(16, 16)
+                        .with_pattern(*pattern)
+                        .with_table(kind.clone()),
+                ),
+                loads,
+            );
+        }
+    }
+    let report = SweepRunner::new().run(&grid);
+
     let mut table = Table::new(&[
         "Traffic",
         "Load",
@@ -47,14 +66,7 @@ fn main() {
     for (pattern, loads) in cases {
         let sweeps: Vec<Vec<(f64, lapses_network::SimResult)>> = schemes
             .iter()
-            .map(|(_, kind)| {
-                with_bench_counts(
-                    SimConfig::paper_adaptive(16, 16)
-                        .with_pattern(pattern)
-                        .with_table(kind.clone()),
-                )
-                .sweep(loads)
-            })
+            .map(|(name, _)| series_points(&report, &format!("{}/{}", pattern.name(), name)))
             .collect();
         for (i, &load) in loads.iter().enumerate() {
             let cells: Vec<String> = sweeps

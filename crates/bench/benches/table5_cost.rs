@@ -28,7 +28,12 @@ fn print_for(mesh: &Mesh, cluster_entries: usize, label: &str) -> Table {
             r.storage.entries_per_router.to_string(),
             r.storage.bits_per_router().to_string(),
             r.storage.lookahead_bits_per_router().to_string(),
-            if r.size_independent_of_network { "yes" } else { "no" }.to_string(),
+            if r.size_independent_of_network {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             if r.supports_adaptive { "yes" } else { "no" }.to_string(),
             r.topologies.to_string(),
         ]);

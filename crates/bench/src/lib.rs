@@ -6,7 +6,7 @@
 //! `LAPSES_WARMUP_MSGS=10000 LAPSES_MEASURE_MSGS=400000` to run the paper's
 //! full protocol.
 
-use lapses_network::SimConfig;
+use lapses_network::{SimConfig, SimResult, SweepReport};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -26,7 +26,33 @@ pub fn paper_loads(pattern: lapses_network::Pattern) -> &'static [f64] {
 /// Applies the default fast measurement profile plus environment
 /// overrides to a configuration.
 pub fn with_bench_counts(cfg: SimConfig) -> SimConfig {
-    cfg.with_message_counts(500, 6_000).with_env_message_counts()
+    cfg.with_message_counts(500, 6_000)
+        .with_env_message_counts()
+}
+
+/// Extracts one labeled series from a [`SweepRunner`] report as the
+/// `(load, result)` points the table-building code consumes.
+///
+/// # Panics
+///
+/// Panics when the label is absent — the grid-building and table-building
+/// loops in each bench construct labels independently, and a silent empty
+/// column would masquerade as universal saturation if they ever drift.
+///
+/// [`SweepRunner`]: lapses_network::SweepRunner
+pub fn series_points(report: &SweepReport, label: &str) -> Vec<(f64, SimResult)> {
+    report
+        .series()
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| {
+            panic!(
+                "no series labeled {label:?} in the report (have: {:?})",
+                report.series().iter().map(|s| &s.label).collect::<Vec<_>>()
+            )
+        })
+        .points
+        .clone()
 }
 
 /// A simple fixed-width text table that prints like the paper's.

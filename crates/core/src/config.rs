@@ -164,10 +164,7 @@ impl RouterConfig {
     }
 
     /// Escape VCs serving dateline `subclass`.
-    pub fn escape_vcs_for_subclass(
-        &self,
-        subclass: usize,
-    ) -> impl Iterator<Item = usize> + use<> {
+    pub fn escape_vcs_for_subclass(&self, subclass: usize) -> impl Iterator<Item = usize> + use<> {
         let subclasses = self.escape_subclasses;
         let range = self.escape_vc_range();
         range.filter(move |v| v % subclasses == subclass)
@@ -182,8 +179,14 @@ impl RouterConfig {
     /// VCs left while adaptivity is requested.
     pub fn validate(&self) {
         assert!(self.vcs_per_port >= 1, "at least one VC per port");
-        assert!(self.escape_vcs <= self.vcs_per_port, "escape VCs exceed VCs");
-        assert!(self.input_buffer_flits >= 1, "input buffer must hold a flit");
+        assert!(
+            self.escape_vcs <= self.vcs_per_port,
+            "escape VCs exceed VCs"
+        );
+        assert!(
+            self.input_buffer_flits >= 1,
+            "input buffer must hold a flit"
+        );
         assert!(
             self.output_buffer_flits >= 1,
             "output buffer must hold a flit"

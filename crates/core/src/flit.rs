@@ -137,14 +137,7 @@ mod tests {
 
     #[test]
     fn message_flit_roles() {
-        let flits = Flit::message(
-            MessageId(1),
-            NodeId(0),
-            NodeId(5),
-            4,
-            Cycle::new(10),
-            true,
-        );
+        let flits = Flit::message(MessageId(1), NodeId(0), NodeId(5), 4, Cycle::new(10), true);
         assert_eq!(flits.len(), 4);
         assert_eq!(flits[0].kind, FlitKind::Head);
         assert_eq!(flits[1].kind, FlitKind::Body);
@@ -156,14 +149,7 @@ mod tests {
 
     #[test]
     fn single_flit_message_is_headtail() {
-        let flits = Flit::message(
-            MessageId(2),
-            NodeId(1),
-            NodeId(2),
-            1,
-            Cycle::ZERO,
-            false,
-        );
+        let flits = Flit::message(MessageId(2), NodeId(1), NodeId(2), 1, Cycle::ZERO, false);
         assert_eq!(flits.len(), 1);
         assert_eq!(flits[0].kind, FlitKind::HeadTail);
         assert!(flits[0].kind.is_head());

@@ -277,10 +277,7 @@ mod tests {
         let (_, py) = ports();
         let mut sel = PathSelector::new(PathSelection::Random, 5);
         let mut rng = SimRng::from_seed(0);
-        assert_eq!(
-            sel.select(&[py], |_| PortStatus::default(), &mut rng),
-            py
-        );
+        assert_eq!(sel.select(&[py], |_| PortStatus::default(), &mut rng), py);
     }
 
     #[test]

@@ -49,10 +49,7 @@ enum VcState {
     /// Header decoded, candidates known; waiting to win selection +
     /// VC allocation. `ready_at` gates the first allocation attempt on the
     /// table-lookup latency (multi-cycle lookups for large table RAMs).
-    Select {
-        entry: RouteEntry,
-        ready_at: u64,
-    },
+    Select { entry: RouteEntry, ready_at: u64 },
     /// Path allocated; flits stream through the crossbar.
     Active { out_port: Port, out_vc: u8 },
 }
@@ -365,9 +362,8 @@ impl Router {
                 continue;
             }
             let outputs = &self.outputs;
-            let granted = self.vm_rr[p].grant(|v| {
-                port_mask & (1 << v) != 0 && outputs[base + v].credits > 0
-            });
+            let granted =
+                self.vm_rr[p].grant(|v| port_mask & (1 << v) != 0 && outputs[base + v].credits > 0);
             if let Some(v) = granted {
                 let o = &mut self.outputs[base + v];
                 let flit = o.staged.pop_front().expect("granted VC has a flit");
@@ -401,7 +397,7 @@ impl Router {
         // Input arbitration: each input port proposes one of its VCs.
         let mut proposals = [None::<(usize, usize)>; lapses_topology::MAX_DIMS * 2 + 1];
         let mut requested_outputs = 0u16; // bit per output port
-        for p in 0..self.ports {
+        for (p, proposal) in proposals.iter_mut().enumerate().take(self.ports) {
             let base = p * vcs;
             let port_mask = (self.in_occupied >> base) & ((1u64 << vcs) - 1);
             if port_mask == 0 {
@@ -417,7 +413,9 @@ impl Router {
                 let ivc = &inputs[base + v];
                 match ivc.state {
                     VcState::Active { out_port, out_vc } => {
-                        outputs[out_port.index() * vcs + out_vc as usize].staged.len()
+                        outputs[out_port.index() * vcs + out_vc as usize]
+                            .staged
+                            .len()
                             < out_cap
                     }
                     _ => false,
@@ -427,7 +425,7 @@ impl Router {
                 let VcState::Active { out_port, out_vc } = self.inputs[p * vcs + v].state else {
                     unreachable!("granted VC is active");
                 };
-                proposals[p] = Some((v, out_port.index() * vcs + out_vc as usize));
+                *proposal = Some((v, out_port.index() * vcs + out_vc as usize));
                 requested_outputs |= 1 << out_port.index();
             }
         }
@@ -436,9 +434,8 @@ impl Router {
             if requested_outputs & (1 << op) == 0 {
                 continue;
             }
-            let winner = self.xb_out_rr[op].grant(|ip| {
-                proposals[ip].is_some_and(|(_, of)| of / vcs == op)
-            });
+            let winner =
+                self.xb_out_rr[op].grant(|ip| proposals[ip].is_some_and(|(_, of)| of / vcs == op));
             let Some(ip) = winner else { continue };
             let (iv, of) = proposals[ip].expect("winner proposed");
             proposals[ip] = None; // an input port sends at most one flit
@@ -458,8 +455,11 @@ impl Router {
                 ivc.state = VcState::Idle;
                 ivc.tl_ready_at = now.as_u64() + 1;
             }
-            self.selector
-                .note_port_used(Port::from_index(of / vcs), now.as_u64(), flit.kind.is_head());
+            self.selector.note_port_used(
+                Port::from_index(of / vcs),
+                now.as_u64(),
+                flit.kind.is_head(),
+            );
             self.stats.flits_switched += 1;
             self.outputs[of].staged.push_back(flit);
             self.staged_flits += 1;

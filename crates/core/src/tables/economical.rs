@@ -148,8 +148,7 @@ impl TableScheme for EconomicalTable {
         let sv = relative_sign(&self.mesh, node, dest);
         let mut e = self.entries[node.index()][sv.table_index()];
         if self.mesh.is_torus() {
-            e.escape_subclass =
-                torus_dateline_subclass(&self.mesh, node, dest, e.escape) as u8;
+            e.escape_subclass = torus_dateline_subclass(&self.mesh, node, dest, e.escape) as u8;
         }
         e
     }
@@ -197,7 +196,10 @@ mod tests {
 
     #[test]
     fn equivalent_to_full_table_for_north_last() {
-        assert_equivalent(&Mesh::mesh_2d(8, 8), &TurnModel::new(TurnModelKind::NorthLast));
+        assert_equivalent(
+            &Mesh::mesh_2d(8, 8),
+            &TurnModel::new(TurnModelKind::NorthLast),
+        );
     }
 
     #[test]
@@ -255,8 +257,7 @@ mod tests {
         let mesh = Mesh::mesh_2d(8, 8);
         for node in mesh.nodes().step_by(5) {
             for dest in mesh.nodes().step_by(3) {
-                let direct =
-                    SignVec::between(&mesh.coord_of(node), &mesh.coord_of(dest));
+                let direct = SignVec::between(&mesh.coord_of(node), &mesh.coord_of(dest));
                 assert_eq!(relative_sign(&mesh, node, dest), direct);
             }
         }

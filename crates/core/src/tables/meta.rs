@@ -187,8 +187,8 @@ mod tests {
         let map = meta.cluster_map().clone();
         for node in mesh.nodes() {
             for dest in mesh.nodes() {
-                let same = map.cluster_of(&mesh.coord_of(node))
-                    == map.cluster_of(&mesh.coord_of(dest));
+                let same =
+                    map.cluster_of(&mesh.coord_of(node)) == map.cluster_of(&mesh.coord_of(dest));
                 if same {
                     assert_eq!(meta.entry(node, dest), full.entry(node, dest));
                 }
@@ -204,7 +204,10 @@ mod tests {
         let node = mesh.id_at(&[5, 2]).unwrap(); // in cluster 1
         let dest = mesh.id_at(&[6, 6]).unwrap(); // in cluster 5
         let e = meta.entry(node, dest);
-        assert_eq!(e.candidates, PortSet::single(Port::from(Direction::plus(1))));
+        assert_eq!(
+            e.candidates,
+            PortSet::single(Port::from(Direction::plus(1)))
+        );
         // From cluster 0 the same destination still has two choices.
         let node0 = mesh.id_at(&[2, 2]).unwrap();
         assert_eq!(meta.entry(node0, dest).candidates.len(), 2);

@@ -1,0 +1,231 @@
+//! Value-generation strategies: ranges, `Just`, tuples, map, union.
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a deterministic sampler over the test RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+
+    /// Starts a union from its first arm (`prop_oneof!` builds unions this
+    /// way so the arms' value types unify during inference).
+    pub fn of<S: Strategy<Value = T> + 'static>(first: S) -> Union<T> {
+        Union {
+            options: vec![Box::new(first)],
+        }
+    }
+
+    /// Adds an arm.
+    pub fn or<S: Strategy<Value = T> + 'static>(mut self, arm: S) -> Union<T> {
+        self.options.push(Box::new(arm));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Widen through i128 so full-type-width ranges (e.g.
+                // i32::MIN..i32::MAX) cannot overflow the element type.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi as i128 - lo as i128 + 1;
+                if span > u64::MAX as i128 {
+                    // 0..=u64::MAX (the only type whose inclusive span
+                    // exceeds u64): the raw stream is already uniform.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform `bool`s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_full_range_ints {
+    ($($t:ty => $any:ident),*) => {$(
+        /// Full-range integers.
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $any;
+
+        impl Strategy for $any {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $any;
+            fn arbitrary() -> $any {
+                $any
+            }
+        }
+    )*};
+}
+
+arbitrary_full_range_ints!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn full_width_ranges_do_not_overflow() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..100 {
+            let _ = (i32::MIN..i32::MAX).sample(&mut rng);
+            let _ = (i64::MIN..=i64::MAX).sample(&mut rng);
+            let _ = (0u64..=u64::MAX).sample(&mut rng);
+            let v = (u8::MAX - 1..=u8::MAX).sample(&mut rng);
+            assert!(v >= u8::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn union_samples_every_arm_eventually() {
+        let u = crate::prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = TestRng::for_case(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

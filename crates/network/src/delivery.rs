@@ -50,7 +50,10 @@ impl DeliveryQueues {
     /// stage ordering).
     pub fn new(flit_delay: u64, credit_delay: u64) -> DeliveryQueues {
         assert!(flit_delay >= 1, "links need at least one cycle of delay");
-        assert!(credit_delay >= 1, "credits need at least one cycle of delay");
+        assert!(
+            credit_delay >= 1,
+            "credits need at least one cycle of delay"
+        );
         DeliveryQueues {
             flit_delay,
             credit_delay,

@@ -12,9 +12,7 @@ use crate::stats::SimResult;
 use lapses_core::psh::PathSelection;
 use lapses_core::tables::{EconomicalTable, FullTable, IntervalTable, MetaTable};
 use lapses_core::{RouterConfig, TableScheme};
-use lapses_routing::{
-    DimensionOrder, DuatoAdaptive, RoutingAlgorithm, TurnModel, TurnModelKind,
-};
+use lapses_routing::{DimensionOrder, DuatoAdaptive, RoutingAlgorithm, TurnModel, TurnModelKind};
 use lapses_sim::{Cycle, MeasurementPhase, PhaseController, ProgressWatchdog, SimRng};
 use lapses_topology::{Mesh, NodeId};
 use lapses_traffic::arrivals::Exponential;
@@ -45,9 +43,7 @@ impl Algorithm {
             Algorithm::Duato => Box::new(DuatoAdaptive::new()),
             Algorithm::NorthLast => Box::new(TurnModel::new(TurnModelKind::NorthLast)),
             Algorithm::WestFirst => Box::new(TurnModel::new(TurnModelKind::WestFirst)),
-            Algorithm::NegativeFirst => {
-                Box::new(TurnModel::new(TurnModelKind::NegativeFirst))
-            }
+            Algorithm::NegativeFirst => Box::new(TurnModel::new(TurnModelKind::NegativeFirst)),
         }
     }
 }
@@ -386,13 +382,8 @@ impl SimConfig {
             if phase.accepting_injections() {
                 'gen: for g in generators.iter_mut() {
                     let src = g.src();
-                    for spec in g.poll(
-                        clock,
-                        &self.mesh,
-                        pattern.as_ref(),
-                        &arrivals,
-                        self.lengths,
-                    ) {
+                    for spec in g.poll(clock, &self.mesh, pattern.as_ref(), &arrivals, self.lengths)
+                    {
                         if !phase.accepting_injections() {
                             break 'gen;
                         }
@@ -418,10 +409,7 @@ impl SimConfig {
                 || watchdog.is_stalled(clock, net.has_traffic())
                 || clock.as_u64() >= self.max_cycles
             {
-                return SimResult::saturated_placeholder(
-                    net.cycles_run(),
-                    net.latency().count(),
-                );
+                return SimResult::saturated_placeholder(net.cycles_run(), net.latency().count());
             }
             clock.tick();
         }
@@ -526,7 +514,9 @@ mod tests {
 
     #[test]
     fn deterministic_configs_run() {
-        let det = fast(SimConfig::paper_deterministic(8, 8)).with_load(0.2).run();
+        let det = fast(SimConfig::paper_deterministic(8, 8))
+            .with_load(0.2)
+            .run();
         assert!(!det.saturated);
         // XY routing never has a choice to make.
         assert_eq!(det.choice_fraction, 0.0);

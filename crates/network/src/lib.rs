@@ -34,6 +34,7 @@ pub mod experiment;
 pub mod network;
 pub mod report;
 pub mod stats;
+pub mod sweep;
 
 mod delivery;
 mod nic;
@@ -42,3 +43,4 @@ pub use experiment::{Algorithm, Pattern, SimConfig, TableKind};
 pub use network::Network;
 pub use report::SweepReport;
 pub use stats::SimResult;
+pub use sweep::{CutoffPolicy, SweepGrid, SweepRunner};

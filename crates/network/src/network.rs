@@ -3,8 +3,8 @@
 use crate::delivery::{CreditDelivery, DeliveryQueues, FlitDelivery};
 use crate::nic::Nic;
 use lapses_core::router::RouterStats;
-use lapses_core::{Flit, MessageId, Router, RouterConfig, RouterTable, TableScheme};
 use lapses_core::router::INFINITE_CREDITS;
+use lapses_core::{Flit, MessageId, Router, RouterConfig, RouterTable, TableScheme};
 use lapses_sim::{Cycle, Histogram, RunningStats, SimRng};
 use lapses_topology::{Mesh, NodeId, Port};
 use std::sync::Arc;
@@ -374,13 +374,10 @@ impl Network {
     /// analysis (e.g. the meta-table cluster-boundary congestion).
     pub fn link_loads(&self) -> impl Iterator<Item = (NodeId, Port, u64)> + '_ {
         let ports = self.mesh.ports_per_router();
-        self.link_flits.iter().enumerate().map(move |(i, &f)| {
-            (
-                NodeId((i / ports) as u32),
-                Port::from_index(i % ports),
-                f,
-            )
-        })
+        self.link_flits
+            .iter()
+            .enumerate()
+            .map(move |(i, &f)| (NodeId((i / ports) as u32), Port::from_index(i % ports), f))
     }
 }
 
@@ -436,8 +433,7 @@ mod tests {
     #[test]
     fn lookahead_saves_one_cycle_per_router() {
         let latency = |lookahead: bool| {
-            let mut net =
-                small_net(RouterConfig::paper_adaptive().with_lookahead(lookahead));
+            let mut net = small_net(RouterConfig::paper_adaptive().with_lookahead(lookahead));
             let src = net.mesh().id_at(&[0, 0]).unwrap();
             let dest = net.mesh().id_at(&[3, 0]).unwrap();
             net.offer_message(src, dest, 5, Cycle::ZERO, true);
@@ -476,8 +472,13 @@ mod tests {
             let mesh = Mesh::mesh_2d(4, 4);
             let program: Arc<dyn TableScheme> =
                 Arc::new(FullTable::program(&mesh, &DuatoAdaptive::new()));
-            let mut net =
-                Network::new(mesh.clone(), RouterConfig::paper_adaptive(), program, 1, seed);
+            let mut net = Network::new(
+                mesh.clone(),
+                RouterConfig::paper_adaptive(),
+                program,
+                1,
+                seed,
+            );
             for src in mesh.nodes() {
                 let dest = NodeId((src.0 + 5) % 16);
                 net.offer_message(src, dest, 6, Cycle::ZERO, true);

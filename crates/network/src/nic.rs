@@ -113,12 +113,7 @@ impl Nic {
 
     /// Messages generated but not yet fully streamed into the router.
     pub fn backlog(&self) -> usize {
-        self.source_queue.len()
-            + self
-                .injecting
-                .iter()
-                .filter(|q| !q.is_empty())
-                .count()
+        self.source_queue.len() + self.injecting.iter().filter(|q| !q.is_empty()).count()
     }
 
     /// Messages whose tail has entered the router.
@@ -139,14 +134,7 @@ mod tests {
     use lapses_core::MessageId;
 
     fn msg(id: u64, len: u32) -> Vec<Flit> {
-        Flit::message(
-            MessageId(id),
-            NodeId(0),
-            NodeId(3),
-            len,
-            Cycle::ZERO,
-            true,
-        )
+        Flit::message(MessageId(id), NodeId(0), NodeId(3), len, Cycle::ZERO, true)
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::stats::SimResult;
 use std::fmt::Write as _;
 
 /// One labeled latency-vs-load series.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSeries {
     /// Legend label ("LA, ADAPT", "LRU", ...).
     pub label: String,
@@ -19,7 +19,7 @@ pub struct SweepSeries {
 }
 
 /// A collection of sweeps over the same load axis.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepReport {
     series: Vec<SweepSeries>,
 }
@@ -41,6 +41,33 @@ impl SweepReport {
     /// The collected series.
     pub fn series(&self) -> &[SweepSeries] {
         &self.series
+    }
+
+    /// The load at which `label`'s series saturates: the load of its first
+    /// "Sat." point. `None` when the series never saturated (or is absent).
+    pub fn saturation_load(&self, label: &str) -> Option<f64> {
+        self.saturation_summary()
+            .iter()
+            .find(|s| s.label == label)?
+            .saturation_load
+    }
+
+    /// Per-series saturation summary, in series order: label, highest load
+    /// that completed, and the saturation load when one was hit.
+    pub fn saturation_summary(&self) -> Vec<SeriesSaturation<'_>> {
+        self.series
+            .iter()
+            .map(|s| SeriesSaturation {
+                label: &s.label,
+                last_stable_load: s
+                    .points
+                    .iter()
+                    .rev()
+                    .find(|(_, r)| !r.saturated)
+                    .map(|(l, _)| *l),
+                saturation_load: s.points.iter().find(|(_, r)| r.saturated).map(|(l, _)| *l),
+            })
+            .collect()
     }
 
     /// All distinct loads across the series, ascending.
@@ -143,6 +170,17 @@ impl SweepReport {
         }
         out
     }
+}
+
+/// One row of [`SweepReport::saturation_summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSaturation<'a> {
+    /// The series label.
+    pub label: &'a str,
+    /// Highest load that completed without saturating, if any.
+    pub last_stable_load: Option<f64>,
+    /// Load of the first "Sat." point, if the series saturated.
+    pub saturation_load: Option<f64>,
 }
 
 fn marker_for(index: usize) -> char {

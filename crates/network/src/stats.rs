@@ -4,7 +4,10 @@ use std::fmt;
 
 /// The measurements of one simulation point — one (configuration, load)
 /// cell of the paper's figures and tables.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (bit-for-bit on the floats);
+/// the sweep tests use it to prove parallel runs reproduce serial ones.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Average network latency in cycles (head injection → tail ejection)
     /// — the paper's primary metric.

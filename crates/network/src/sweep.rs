@@ -1,0 +1,377 @@
+//! Parallel execution of simulation grids — the engine behind every figure.
+//!
+//! The paper's evaluation (Figs. 5/6, Tables 3/4) is a grid of independent
+//! simulation points: router configurations × traffic patterns × offered
+//! loads. Each point is a self-contained [`SimConfig::run`], so the grid is
+//! embarrassingly parallel; this module runs it on a pool of OS threads
+//! while keeping the output **bit-identical to a single-threaded run**:
+//!
+//! * every point's seed is derived from the runner's master seed and the
+//!   point's position in the grid — never from thread identity or timing;
+//! * results are aggregated in grid order, not completion order;
+//! * the saturation cut-off (the sequential [`SimConfig::sweep`] stops a
+//!   series after its first "Sat." point) is enforced by *position*: a
+//!   worker skips a point only when some earlier point of the same series
+//!   has already saturated, and the final report truncates each series at
+//!   its first saturated point, so racing workers can only change how much
+//!   wasted work is avoided, never the report.
+//!
+//! # Example
+//!
+//! ```
+//! use lapses_network::{Pattern, SimConfig, SweepGrid, SweepRunner};
+//!
+//! let base = SimConfig::paper_adaptive_lookahead(4, 4).with_message_counts(50, 300);
+//! let grid = SweepGrid::new()
+//!     .series("uniform", base.clone().with_pattern(Pattern::Uniform), &[0.1, 0.2])
+//!     .series("transpose", base.with_pattern(Pattern::Transpose), &[0.1, 0.2]);
+//! let report = SweepRunner::new().with_threads(2).with_master_seed(7).run(&grid);
+//! assert_eq!(report.series().len(), 2);
+//! ```
+
+use crate::experiment::SimConfig;
+use crate::report::SweepReport;
+use crate::stats::SimResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of a sweep grid: a fully-specified simulation point plus the
+/// series (curve) it belongs to in the final report.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Report series this point belongs to ("LA, ADAPT", "LRU", ...).
+    pub series: String,
+    /// The normalized load, echoed on the report's x-axis.
+    pub load: f64,
+    /// The full configuration to run.
+    pub config: SimConfig,
+}
+
+/// A grid of simulation points, grouped into labeled series.
+///
+/// Within a series, points must be added in ascending-load order — that
+/// order defines the saturation cut-off (everything after the first
+/// saturated point is dropped, like the paper's figures).
+#[derive(Debug, Clone, Default)]
+pub struct SweepGrid {
+    points: Vec<SweepPoint>,
+}
+
+impl SweepGrid {
+    /// Creates an empty grid.
+    pub fn new() -> SweepGrid {
+        SweepGrid::default()
+    }
+
+    /// Adds one series: `base` swept across `loads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is not strictly ascending — the saturation
+    /// cut-off truncates a series by position, so out-of-order loads
+    /// would silently drop stable points below a saturated one. Build
+    /// intentionally unordered series with [`SweepGrid::point`].
+    pub fn series(mut self, label: impl Into<String>, base: SimConfig, loads: &[f64]) -> SweepGrid {
+        assert!(
+            loads.windows(2).all(|w| w[0] < w[1]),
+            "series loads must be strictly ascending, got {loads:?}"
+        );
+        let label = label.into();
+        for &load in loads {
+            self.points.push(SweepPoint {
+                series: label.clone(),
+                load,
+                config: base.clone().with_load(load),
+            });
+        }
+        self
+    }
+
+    /// Adds a single fully-specified point.
+    pub fn point(mut self, label: impl Into<String>, load: f64, config: SimConfig) -> SweepGrid {
+        self.points.push(SweepPoint {
+            series: label.into(),
+            load,
+            config,
+        });
+        self
+    }
+
+    /// The points in grid order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Number of points in the grid.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// What to do with the points of a series past its first saturated point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CutoffPolicy {
+    /// Drop them from the report and skip their execution when a lower
+    /// load has already saturated — matches [`SimConfig::sweep`].
+    #[default]
+    TruncateAtSaturation,
+    /// Run and report every grid point, "Sat." cells included.
+    KeepAll,
+}
+
+/// Executes a [`SweepGrid`] on a thread pool.
+///
+/// The same master seed always produces the same [`SweepReport`],
+/// regardless of thread count — see the module docs for why.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    master_seed: Option<u64>,
+    cutoff: CutoffPolicy,
+}
+
+impl Default for SweepRunner {
+    fn default() -> SweepRunner {
+        SweepRunner {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            master_seed: None,
+            cutoff: CutoffPolicy::default(),
+        }
+    }
+}
+
+impl SweepRunner {
+    /// A runner using every available core.
+    pub fn new() -> SweepRunner {
+        SweepRunner::default()
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> SweepRunner {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides every point's seed with one derived from `seed` and the
+    /// point's grid position. Without this, each point keeps the seed its
+    /// `SimConfig` carries.
+    pub fn with_master_seed(mut self, seed: u64) -> SweepRunner {
+        self.master_seed = Some(seed);
+        self
+    }
+
+    /// Sets the saturation cut-off policy.
+    pub fn with_cutoff(mut self, cutoff: CutoffPolicy) -> SweepRunner {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// Runs every grid point and aggregates the results, series by series
+    /// in first-appearance order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's configuration is rejected by
+    /// [`SimConfig::run`] (e.g. adaptive routing without escape VCs).
+    pub fn run(&self, grid: &SweepGrid) -> SweepReport {
+        let jobs: Vec<Job> = self.plan(grid);
+        let n = jobs.len();
+
+        // Per-series lowest position that saturated, for cut-off skipping.
+        let series_count = jobs.iter().map(|j| j.series_id + 1).max().unwrap_or(0);
+        let sat_floor: Vec<AtomicUsize> = (0..series_count)
+            .map(|_| AtomicUsize::new(usize::MAX))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SimResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    if self.cutoff == CutoffPolicy::TruncateAtSaturation
+                        && sat_floor[job.series_id].load(Ordering::Acquire) < job.series_pos
+                    {
+                        continue; // a lower load already saturated: doomed point
+                    }
+                    let result = job.config.run();
+                    if result.saturated {
+                        sat_floor[job.series_id].fetch_min(job.series_pos, Ordering::Release);
+                    }
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        self.aggregate(grid, jobs, slots)
+    }
+
+    /// Resolves per-point seeds and series bookkeeping.
+    fn plan(&self, grid: &SweepGrid) -> Vec<Job> {
+        let mut series_ids: Vec<&str> = Vec::new();
+        let mut series_len: Vec<usize> = Vec::new();
+        grid.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let series_id = match series_ids.iter().position(|s| *s == p.series) {
+                    Some(id) => id,
+                    None => {
+                        series_ids.push(&p.series);
+                        series_len.push(0);
+                        series_ids.len() - 1
+                    }
+                };
+                let series_pos = series_len[series_id];
+                series_len[series_id] += 1;
+                let mut config = p.config.clone();
+                if let Some(master) = self.master_seed {
+                    config.seed = derive_seed(master, i as u64);
+                }
+                Job {
+                    config,
+                    series_id,
+                    series_pos,
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the report in grid order, applying the cut-off policy.
+    fn aggregate(
+        &self,
+        grid: &SweepGrid,
+        jobs: Vec<Job>,
+        slots: Vec<Mutex<Option<SimResult>>>,
+    ) -> SweepReport {
+        let results: Vec<Option<SimResult>> = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("result slot poisoned"))
+            .collect();
+
+        let mut report = SweepReport::new();
+        let series_count = jobs.iter().map(|j| j.series_id + 1).max().unwrap_or(0);
+        for sid in 0..series_count {
+            let mut label = "";
+            let mut points = Vec::new();
+            for (i, job) in jobs.iter().enumerate() {
+                if job.series_id != sid {
+                    continue;
+                }
+                label = &grid.points[i].series;
+                // A missing result means the point was skipped because an
+                // earlier one saturated; truncation below drops it anyway.
+                let Some(result) = &results[i] else { continue };
+                let saturated = result.saturated;
+                points.push((grid.points[i].load, result.clone()));
+                if saturated && self.cutoff == CutoffPolicy::TruncateAtSaturation {
+                    break;
+                }
+            }
+            report.push(label, points);
+        }
+        report
+    }
+}
+
+struct Job {
+    config: SimConfig,
+    series_id: usize,
+    series_pos: usize,
+}
+
+/// SplitMix64 over (master, index): decorrelated per-point seeds that
+/// depend only on grid position, never on scheduling.
+fn derive_seed(master: u64, index: u64) -> u64 {
+    lapses_sim::rng::mix64(
+        master.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Pattern;
+
+    fn tiny(pattern: Pattern) -> SimConfig {
+        SimConfig::paper_adaptive(4, 4)
+            .with_pattern(pattern)
+            .with_message_counts(30, 200)
+    }
+
+    #[test]
+    fn grid_builder_counts_points() {
+        let grid = SweepGrid::new()
+            .series("a", tiny(Pattern::Uniform), &[0.1, 0.2, 0.3])
+            .point("b", 0.1, tiny(Pattern::Transpose));
+        assert_eq!(grid.len(), 4);
+        assert!(!grid.is_empty());
+        assert_eq!(grid.points()[3].series, "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_series_loads_rejected() {
+        let _ = SweepGrid::new().series("a", tiny(Pattern::Uniform), &[0.3, 0.1]);
+    }
+
+    #[test]
+    fn master_seed_overrides_point_seeds() {
+        let grid = SweepGrid::new().series("a", tiny(Pattern::Uniform), &[0.1, 0.2]);
+        let runner = SweepRunner::new().with_master_seed(99);
+        let jobs = runner.plan(&grid);
+        assert_ne!(jobs[0].config.seed, jobs[1].config.seed);
+        assert_eq!(jobs[0].config.seed, derive_seed(99, 0));
+    }
+
+    #[test]
+    fn without_master_seed_point_seeds_survive() {
+        let grid = SweepGrid::new().series("a", tiny(Pattern::Uniform).with_seed(4242), &[0.1]);
+        let jobs = SweepRunner::new().plan(&grid);
+        assert_eq!(jobs[0].config.seed, 4242);
+    }
+
+    #[test]
+    fn seed_derivation_is_injective_over_small_grids() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(derive_seed(7, i)));
+        }
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_report() {
+        let report = SweepRunner::new().run(&SweepGrid::new());
+        assert_eq!(report.series().len(), 0);
+    }
+
+    #[test]
+    fn keep_all_reports_every_point() {
+        // Load 3.0 on a 4x4 saturates (enough injections to trip the
+        // backlog limit); KeepAll must still report 0.1 *after* it.
+        let overload = tiny(Pattern::Uniform).with_message_counts(200, 1_000);
+        // Deliberately descending loads, so built with point() — series()
+        // rejects unordered load axes.
+        let grid = SweepGrid::new()
+            .point("a", 3.0, overload.clone().with_load(3.0))
+            .point("a", 0.1, overload.with_load(0.1));
+        let report = SweepRunner::new()
+            .with_threads(2)
+            .with_master_seed(5)
+            .with_cutoff(CutoffPolicy::KeepAll)
+            .run(&grid);
+        let points = &report.series()[0].points;
+        assert_eq!(points.len(), 2);
+        assert!(points[0].1.saturated);
+        assert!(!points[1].1.saturated);
+    }
+}

@@ -14,8 +14,7 @@ use std::sync::Arc;
 /// Runs a hand-built workload to completion and checks the network ends in
 /// a credit-balanced quiescent state — no leaked buffer slots anywhere.
 fn run_and_check_quiescent(mesh: Mesh, cfg: RouterConfig, messages: &[(u32, u32, u32)]) {
-    let program: Arc<dyn TableScheme> =
-        Arc::new(FullTable::program(&mesh, &DuatoAdaptive::new()));
+    let program: Arc<dyn TableScheme> = Arc::new(FullTable::program(&mesh, &DuatoAdaptive::new()));
     let mut net = Network::new(mesh, cfg, program, 1, 11);
     let mut expected = 0;
     for &(src, dest, len) in messages {
@@ -80,7 +79,10 @@ fn credits_conserve_on_torus_with_dateline() {
 #[test]
 fn credits_conserve_on_3d_mesh() {
     let mesh = Mesh::mesh_3d(4, 4, 4);
-    let msgs: Vec<(u32, u32, u32)> = (0..64u32).map(|n| (n, 63 - n, 10)).filter(|(a, b, _)| a != b).collect();
+    let msgs: Vec<(u32, u32, u32)> = (0..64u32)
+        .map(|n| (n, 63 - n, 10))
+        .filter(|(a, b, _)| a != b)
+        .collect();
     run_and_check_quiescent(mesh, RouterConfig::paper_adaptive(), &msgs);
 }
 

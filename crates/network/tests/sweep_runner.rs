@@ -1,0 +1,138 @@
+//! Integration tests for the parallel sweep runner: determinism across
+//! thread counts, saturation cut-off propagation, and a smoke sweep over
+//! all four paper patterns.
+
+use lapses_network::{CutoffPolicy, Pattern, SimConfig, SweepGrid, SweepRunner};
+
+fn fast(width: u16, height: u16) -> SimConfig {
+    SimConfig::paper_adaptive_lookahead(width, height).with_message_counts(100, 800)
+}
+
+/// Builds the acceptance-criterion grid: 12 points across three series.
+fn twelve_point_grid() -> SweepGrid {
+    SweepGrid::new()
+        .series(
+            "uniform",
+            fast(8, 8).with_pattern(Pattern::Uniform),
+            &[0.1, 0.2, 0.3, 0.4],
+        )
+        .series(
+            "transpose",
+            fast(8, 8).with_pattern(Pattern::Transpose),
+            &[0.1, 0.2, 0.3, 0.4],
+        )
+        .series(
+            "bit-reversal",
+            fast(8, 8).with_pattern(Pattern::BitReversal),
+            &[0.1, 0.2, 0.3, 0.4],
+        )
+}
+
+#[test]
+fn twelve_points_on_four_threads_match_single_thread_bit_for_bit() {
+    let grid = twelve_point_grid();
+    assert!(grid.len() >= 12);
+    let serial = SweepRunner::new()
+        .with_threads(1)
+        .with_master_seed(2026)
+        .run(&grid);
+    let parallel = SweepRunner::new()
+        .with_threads(4)
+        .with_master_seed(2026)
+        .run(&grid);
+    assert_eq!(serial, parallel, "thread count changed the report");
+    // And the comparison is not vacuous: every series has real data.
+    for s in serial.series() {
+        assert_eq!(s.points.len(), 4, "{} truncated unexpectedly", s.label);
+        for (load, r) in &s.points {
+            assert!(!r.saturated, "{} saturated at {load}", s.label);
+            assert!(r.avg_latency > 0.0);
+        }
+    }
+}
+
+#[test]
+fn master_seed_changes_results_and_reproduces_exactly() {
+    let grid = SweepGrid::new().series("u", fast(4, 4), &[0.15, 0.25]);
+    let a = SweepRunner::new()
+        .with_threads(2)
+        .with_master_seed(1)
+        .run(&grid);
+    let b = SweepRunner::new()
+        .with_threads(3)
+        .with_master_seed(1)
+        .run(&grid);
+    let c = SweepRunner::new()
+        .with_threads(2)
+        .with_master_seed(2)
+        .run(&grid);
+    assert_eq!(a, b);
+    assert_ne!(
+        a.series()[0].points[0].1.avg_latency,
+        c.series()[0].points[0].1.avg_latency,
+        "different master seeds should perturb the statistics"
+    );
+}
+
+#[test]
+fn saturation_cutoff_propagates_to_the_report() {
+    // Overload a 4x4 mesh so the series saturates mid-sweep; the two
+    // higher loads must be absent from the report, exactly like the
+    // sequential SimConfig::sweep.
+    let base = SimConfig::paper_adaptive(4, 4).with_message_counts(200, 1_200);
+    let loads = [0.2, 3.0, 4.0, 5.0];
+    let grid = SweepGrid::new().series("overload", base.clone(), &loads);
+
+    for threads in [1, 4] {
+        let report = SweepRunner::new()
+            .with_threads(threads)
+            .with_master_seed(7)
+            .run(&grid);
+        let points = &report.series()[0].points;
+        assert_eq!(
+            points.len(),
+            2,
+            "series must stop after its first Sat. point ({threads} threads)"
+        );
+        assert!(!points[0].1.saturated);
+        assert!(points[1].1.saturated);
+        assert_eq!(report.saturation_load("overload"), Some(3.0));
+        let summary = report.saturation_summary();
+        assert_eq!(summary[0].last_stable_load, Some(0.2));
+        assert_eq!(summary[0].saturation_load, Some(3.0));
+    }
+
+    // KeepAll runs the doomed points anyway and reports all four cells.
+    let keep = SweepRunner::new()
+        .with_threads(4)
+        .with_master_seed(7)
+        .with_cutoff(CutoffPolicy::KeepAll)
+        .run(&grid);
+    assert_eq!(keep.series()[0].points.len(), 4);
+}
+
+#[test]
+fn smoke_sweep_covers_all_four_paper_patterns_on_8x8() {
+    let mut grid = SweepGrid::new();
+    for pattern in Pattern::PAPER_FOUR {
+        grid = grid.series(
+            pattern.name(),
+            fast(8, 8).with_pattern(pattern),
+            &[0.1, 0.2],
+        );
+    }
+    let report = SweepRunner::new().with_master_seed(11).run(&grid);
+    assert_eq!(report.series().len(), 4);
+    for s in report.series() {
+        assert_eq!(s.points.len(), 2, "{}", s.label);
+        for (load, r) in &s.points {
+            assert!(!r.saturated, "{} saturated at {load}", s.label);
+            assert_eq!(r.messages, 800);
+        }
+    }
+    // The report renders: every pattern appears in the table.
+    let table = report.to_table();
+    for pattern in Pattern::PAPER_FOUR {
+        assert!(table.contains(&pattern.name()[..7.min(pattern.name().len())]));
+    }
+}

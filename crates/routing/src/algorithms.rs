@@ -584,7 +584,10 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(DimensionOrder::new().name(), "XY");
         assert_eq!(DuatoAdaptive::new().name(), "Duato");
-        assert_eq!(TurnModel::new(TurnModelKind::NorthLast).name(), "North-Last");
+        assert_eq!(
+            TurnModel::new(TurnModelKind::NorthLast).name(),
+            "North-Last"
+        );
         assert_eq!(
             TurnModel::new(TurnModelKind::NegativeFirst).kind(),
             TurnModelKind::NegativeFirst

@@ -6,13 +6,11 @@
 //! paper's workload uses exponential inter-arrival times (Table 2), provided
 //! here via inverse-transform sampling.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic, seedable random source for simulations.
 ///
-/// Wraps [`rand::rngs::SmallRng`] (fast, non-cryptographic — appropriate for
-/// simulation) behind the few samplers the workspace needs.
+/// A self-contained xoshiro256++ generator (fast, non-cryptographic —
+/// appropriate for simulation; no external crates, so builds work offline)
+/// behind the few samplers the workspace needs.
 ///
 /// # Example
 ///
@@ -27,14 +25,38 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// The SplitMix64 output finalizer: an avalanche mix that decorrelates
+/// nearby inputs. The single shared home of the magic constants — seed
+/// expansion, [`SimRng::fork`] and the sweep runner's per-point seed
+/// derivation all go through it.
+#[inline]
+pub fn mix64(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    mix64(*state)
 }
 
 impl SimRng {
-    /// Creates an RNG from a 64-bit seed.
+    /// Creates an RNG from a 64-bit seed (expanded to the full 256-bit
+    /// state through SplitMix64, per the xoshiro authors' recommendation).
     pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -44,17 +66,24 @@ impl SimRng {
     pub fn fork(&mut self, salt: u64) -> SimRng {
         // Mix the salt through SplitMix64 so forks with nearby salts are
         // decorrelated.
-        let mut z = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        SimRng::from_seed(z)
+        SimRng::from_seed(mix64(
+            self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (one xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform draw in `[0, bound)`.
@@ -65,7 +94,19 @@ impl SimRng {
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "uniform bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's unbiased multiply-shift rejection sampler.
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(bound);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(bound);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -76,13 +117,13 @@ impl SimRng {
     #[inline]
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty uniform range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Uniform draw in `[0, 1)` (53 mantissa bits).
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -108,7 +149,7 @@ impl SimRng {
     /// Chooses an index in `[0, n)` uniformly; `None` when `n == 0`.
     #[inline]
     pub fn choose_index(&mut self, n: usize) -> Option<usize> {
-        (n > 0).then(|| self.inner.gen_range(0..n))
+        (n > 0).then(|| self.below(n as u64) as usize)
     }
 }
 

@@ -57,7 +57,7 @@ impl Coord {
     /// Panics if `dims` is zero or exceeds [`MAX_DIMS`].
     pub fn origin(dims: usize) -> Self {
         assert!(
-            dims >= 1 && dims <= MAX_DIMS,
+            (1..=MAX_DIMS).contains(&dims),
             "coordinate dimensionality must be 1..={MAX_DIMS}"
         );
         Coord {
@@ -98,8 +98,8 @@ impl Coord {
     pub fn delta(&self, other: &Coord) -> [i32; MAX_DIMS] {
         assert_eq!(self.dims, other.dims, "coordinate dimensionality mismatch");
         let mut d = [0i32; MAX_DIMS];
-        for i in 0..self.dims() {
-            d[i] = self.c[i] as i32 - other.c[i] as i32;
+        for (i, slot) in d.iter_mut().enumerate().take(self.dims()) {
+            *slot = self.c[i] as i32 - other.c[i] as i32;
         }
         d
     }

@@ -227,10 +227,7 @@ mod tests {
         assert_eq!(rows.cluster_count(), 16);
         assert_eq!(rows.nodes_per_cluster(), 16);
         // Fig. 8(a): nodes 0..=15 are cluster 0, 16..=31 cluster 1, ...
-        assert_eq!(
-            rows.locate(&m, NodeId(0)).0,
-            ClusterId(0)
-        );
+        assert_eq!(rows.locate(&m, NodeId(0)).0, ClusterId(0));
         assert_eq!(rows.locate(&m, NodeId(15)).0, ClusterId(0));
         assert_eq!(rows.locate(&m, NodeId(16)).0, ClusterId(1));
         assert_eq!(rows.locate(&m, NodeId(255)).0, ClusterId(15));

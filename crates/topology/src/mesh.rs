@@ -43,6 +43,9 @@ impl Mesh {
     ///
     /// Panics if `shape` is empty, longer than [`MAX_DIMS`], or any extent
     /// is zero.
+    // The name mirrors `Mesh::torus` and reads well at call sites
+    // (`Mesh::mesh(&[4, 4, 4])`), so keep it despite the clippy style lint.
+    #[allow(clippy::self_named_constructors)]
     pub fn mesh(shape: &[u16]) -> Mesh {
         Self::with_wrap(shape, false)
     }
@@ -188,11 +191,7 @@ impl Mesh {
         if components.len() != self.dims() {
             return None;
         }
-        if components
-            .iter()
-            .zip(&self.shape)
-            .any(|(&c, &k)| c >= k)
-        {
+        if components.iter().zip(&self.shape).any(|(&c, &k)| c >= k) {
             return None;
         }
         Some(self.id_of(&Coord::new(components)))
@@ -370,10 +369,7 @@ mod tests {
         let corner = m.id_at(&[0, 0]).unwrap();
         assert_eq!(m.neighbor(corner, Direction::minus(0)), None);
         assert_eq!(m.neighbor(corner, Direction::minus(1)), None);
-        assert_eq!(
-            m.neighbor(corner, Direction::plus(0)),
-            m.id_at(&[1, 0])
-        );
+        assert_eq!(m.neighbor(corner, Direction::plus(0)), m.id_at(&[1, 0]));
     }
 
     #[test]

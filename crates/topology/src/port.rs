@@ -214,7 +214,7 @@ impl Port {
         let i = (self.0 - 1) as usize;
         Some(Direction {
             dim: (i / 2) as u8,
-            positive: i % 2 == 0,
+            positive: i.is_multiple_of(2),
         })
     }
 

@@ -107,7 +107,7 @@ impl SignVec {
     /// Panics if `dims` is zero or exceeds [`MAX_DIMS`].
     pub fn table_len(dims: usize) -> usize {
         assert!(
-            dims >= 1 && dims <= MAX_DIMS,
+            (1..=MAX_DIMS).contains(&dims),
             "dimensionality must be 1..={MAX_DIMS}"
         );
         3usize.pow(dims as u32)
@@ -140,10 +140,7 @@ impl SignVec {
 
     /// Iterates `(dimension, sign)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, Sign)> + '_ {
-        self.signs[..self.dims()]
-            .iter()
-            .copied()
-            .enumerate()
+        self.signs[..self.dims()].iter().copied().enumerate()
     }
 }
 
@@ -193,11 +190,11 @@ mod tests {
             let mut seen = vec![false; SignVec::table_len(dims)];
             // Enumerate all sign vectors via from_table_index and check
             // roundtrip.
-            for idx in 0..SignVec::table_len(dims) {
+            for (idx, slot) in seen.iter_mut().enumerate() {
                 let sv = SignVec::from_table_index(idx, dims);
                 assert_eq!(sv.table_index(), idx);
-                assert!(!seen[idx]);
-                seen[idx] = true;
+                assert!(!*slot);
+                *slot = true;
             }
             assert!(seen.into_iter().all(|b| b));
         }

@@ -102,7 +102,7 @@ impl TrafficPattern for Transpose {
     fn destination(&self, mesh: &Mesh, src: NodeId, _rng: &mut SimRng) -> Option<NodeId> {
         let bits = address_bits(mesh);
         assert!(
-            bits % 2 == 0,
+            bits.is_multiple_of(2),
             "transpose needs an even number of address bits, got {bits}"
         );
         let half = bits / 2;

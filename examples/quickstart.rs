@@ -19,7 +19,10 @@ fn main() {
     let wall = start.elapsed();
 
     println!("LAPSES quickstart — 16x16 mesh, uniform traffic, load 0.2");
-    println!("  average network latency : {:.1} cycles", result.avg_latency);
+    println!(
+        "  average network latency : {:.1} cycles",
+        result.avg_latency
+    );
     println!(
         "  incl. source queueing   : {:.1} cycles",
         result.avg_total_latency
@@ -28,7 +31,10 @@ fn main() {
         "  p95 latency             : {:.0} cycles",
         result.p95_latency.unwrap_or(f64::NAN)
     );
-    println!("  throughput              : {:.4} flits/node/cycle", result.throughput);
+    println!(
+        "  throughput              : {:.4} flits/node/cycle",
+        result.throughput
+    );
     println!("  messages measured       : {}", result.messages);
     println!("  simulated cycles        : {}", result.cycles);
     println!("  escape-channel fraction : {:.3}", result.escape_fraction);

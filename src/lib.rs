@@ -24,11 +24,12 @@
 //!
 //! # Quickstart
 //!
+//! One simulation point — the paper's LA-ADAPT router on a small mesh,
+//! uniform traffic at 20% of bisection saturation:
+//!
 //! ```
 //! use lapses::prelude::*;
 //!
-//! // The paper's LA-ADAPT router on a small mesh, uniform traffic at 20%
-//! // of bisection saturation.
 //! let result = SimConfig::paper_adaptive_lookahead(8, 8)
 //!     .with_pattern(Pattern::Uniform)
 //!     .with_load(0.2)
@@ -38,8 +39,26 @@
 //! assert!(!result.saturated);
 //! ```
 //!
+//! Whole figures are grids of such points (patterns × loads × router
+//! configurations); [`SweepRunner`](network::SweepRunner) executes a grid
+//! on every core and aggregates a [`SweepReport`](network::SweepReport)
+//! that is bit-identical to a single-threaded run of the same master seed:
+//!
+//! ```
+//! use lapses::prelude::*;
+//!
+//! let base = SimConfig::paper_adaptive_lookahead(4, 4).with_message_counts(50, 400);
+//! let grid = SweepGrid::new()
+//!     .series("uniform", base.clone().with_pattern(Pattern::Uniform), &[0.1, 0.2])
+//!     .series("transpose", base.with_pattern(Pattern::Transpose), &[0.1, 0.2]);
+//! let report = SweepRunner::new().with_master_seed(7).run(&grid);
+//! println!("{}", report.to_table());
+//! assert!(report.saturation_summary().iter().all(|s| s.saturation_load.is_none()));
+//! ```
+//!
 //! The `lapses-bench` crate regenerates every table and figure of the
-//! paper's evaluation; see `EXPERIMENTS.md` at the repository root.
+//! paper's evaluation on top of the same sweep engine; run e.g.
+//! `cargo bench -p lapses-bench --bench fig5_lookahead`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,7 +77,10 @@ pub mod prelude {
         EconomicalTable, FullTable, IntervalTable, MetaTable, TableScheme,
     };
     pub use lapses_core::{PipelineModel, RouterConfig};
-    pub use lapses_network::{Algorithm, Pattern, SimConfig, SimResult, TableKind};
+    pub use lapses_network::{
+        Algorithm, CutoffPolicy, Pattern, SimConfig, SimResult, SweepGrid, SweepReport,
+        SweepRunner, TableKind,
+    };
     pub use lapses_routing::{DimensionOrder, DuatoAdaptive, RoutingAlgorithm};
     pub use lapses_sim::{Cycle, SimRng};
     pub use lapses_topology::{Mesh, NodeId, Port, PortSet};

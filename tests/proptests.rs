@@ -15,22 +15,17 @@ fn arb_mesh() -> impl Strategy<Value = Mesh> {
 }
 
 fn arb_algorithm() -> impl Strategy<Value = Box<dyn RoutingAlgorithm>> {
-    prop_oneof![
-        Just(0usize),
-        Just(1),
-        Just(2),
-        Just(3),
-        Just(4)
-    ]
-    .prop_map(|i| -> Box<dyn RoutingAlgorithm> {
-        match i {
-            0 => Box::new(DimensionOrder::new()),
-            1 => Box::new(DuatoAdaptive::new()),
-            2 => Box::new(TurnModel::new(TurnModelKind::NorthLast)),
-            3 => Box::new(TurnModel::new(TurnModelKind::WestFirst)),
-            _ => Box::new(TurnModel::new(TurnModelKind::NegativeFirst)),
-        }
-    })
+    prop_oneof![Just(0usize), Just(1), Just(2), Just(3), Just(4)].prop_map(
+        |i| -> Box<dyn RoutingAlgorithm> {
+            match i {
+                0 => Box::new(DimensionOrder::new()),
+                1 => Box::new(DuatoAdaptive::new()),
+                2 => Box::new(TurnModel::new(TurnModelKind::NorthLast)),
+                3 => Box::new(TurnModel::new(TurnModelKind::WestFirst)),
+                _ => Box::new(TurnModel::new(TurnModelKind::NegativeFirst)),
+            }
+        },
+    )
 }
 
 proptest! {
@@ -157,11 +152,11 @@ proptest! {
     fn sign_index_bijection(dims in 1usize..=4) {
         let len = SignVec::table_len(dims);
         let mut seen = vec![false; len];
-        for i in 0..len {
+        for (i, slot) in seen.iter_mut().enumerate() {
             let sv = SignVec::from_table_index(i, dims);
             prop_assert_eq!(sv.table_index(), i);
-            prop_assert!(!seen[i]);
-            seen[i] = true;
+            prop_assert!(!*slot);
+            *slot = true;
         }
     }
 
