@@ -10,12 +10,112 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lapses_core::psh::{PathSelection, PathSelector, PortStatus};
+use lapses_core::router::INFINITE_CREDITS;
 use lapses_core::tables::{EconomicalTable, FullTable, IntervalTable, MetaTable, TableScheme};
+use lapses_core::{Flit, MessageId, MsgRef, Router, RouterConfig, RouterTable, StepOutputs};
 use lapses_network::{Pattern, SimConfig};
 use lapses_routing::DuatoAdaptive;
-use lapses_sim::SimRng;
+use lapses_sim::{Cycle, SimRng};
 use lapses_topology::{Direction, Mesh, NodeId, Port};
 use std::hint::black_box;
+use std::sync::Arc;
+
+/// A mid-mesh router with full downstream credits, fed by the benchmark.
+fn bench_router(lookahead: bool) -> Router {
+    let mesh = Mesh::mesh_2d(8, 8);
+    let program: Arc<dyn TableScheme> = Arc::new(FullTable::program(&mesh, &DuatoAdaptive::new()));
+    let node = mesh.id_at(&[4, 4]).unwrap();
+    let cfg = RouterConfig::paper_adaptive().with_lookahead(lookahead);
+    let mut r = Router::new(
+        node,
+        mesh.ports_per_router(),
+        cfg,
+        RouterTable::new(program, node),
+        SimRng::from_seed(5),
+    );
+    for p in 0..r.ports() {
+        let port = Port::from_index(p);
+        for v in 0..r.config().vcs_per_port {
+            let credits = if port.is_local() {
+                INFINITE_CREDITS
+            } else {
+                20
+            };
+            r.set_credits(port, v, credits);
+        }
+    }
+    r
+}
+
+/// One router stepped in isolation: the cost floor of the cycle loop's
+/// inner call, across the occupancy regimes the scheduler distinguishes.
+fn bench_router_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_step");
+    let mesh = Mesh::mesh_2d(8, 8);
+    let dest = mesh.id_at(&[7, 7]).unwrap();
+
+    // Idle: the step the active-set scheduler elides entirely.
+    group.bench_function("idle", |b| {
+        let mut r = bench_router(false);
+        let mut out = StepOutputs::default();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            r.step_into(Cycle::new(t), &mut out);
+            black_box(out.moved)
+        })
+    });
+
+    // Saturated: every input port streams a long message through the
+    // crossbar each cycle (the occupancy masks are all hot).
+    group.bench_function("saturated", |b| {
+        b.iter_batched(
+            || {
+                let mut r = bench_router(false);
+                for p in 0..r.ports() {
+                    let flits =
+                        Flit::message(MessageId(p as u64 + 1), MsgRef(p as u32), dest, 1000);
+                    for f in flits.into_iter().take(18) {
+                        r.accept_flit(Port::from_index(p), 0, f, Cycle::ZERO);
+                    }
+                }
+                (r, StepOutputs::default())
+            },
+            |(mut r, mut out)| {
+                for t in 1..=12u64 {
+                    r.step_into(Cycle::new(t), &mut out);
+                    black_box(out.launches.len());
+                }
+                (r, out)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Mixed: one streaming message — the common mid-load regime where a
+    // busy router moves a flit or two per cycle.
+    group.bench_function("mixed", |b| {
+        b.iter_batched(
+            || {
+                let mut r = bench_router(false);
+                let flits = Flit::message(MessageId(1), MsgRef(0), dest, 1000);
+                for f in flits.into_iter().take(18) {
+                    r.accept_flit(Port::LOCAL, 0, f, Cycle::ZERO);
+                }
+                (r, StepOutputs::default())
+            },
+            |(mut r, mut out)| {
+                for t in 1..=12u64 {
+                    r.step_into(Cycle::new(t), &mut out);
+                    black_box(out.launches.len());
+                }
+                (r, out)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
 
 fn bench_table_lookup(c: &mut Criterion) {
     let mesh = Mesh::mesh_2d(16, 16);
@@ -133,6 +233,6 @@ criterion_group! {
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_table_lookup, bench_path_selection, bench_network_cycle
+    targets = bench_table_lookup, bench_path_selection, bench_router_step, bench_network_cycle
 }
 criterion_main!(benches);

@@ -24,12 +24,24 @@ impl RoundRobin {
 
     /// Grants the first index (in rotating order) for which `eligible`
     /// returns true, advancing the priority pointer past it.
+    ///
+    /// The rotation wraps with a compare instead of a modulo: this runs
+    /// several times per busy router per cycle, and `n` is a runtime value
+    /// the compiler cannot strength-reduce a division for.
     pub fn grant(&mut self, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
-        for off in 0..self.n {
-            let i = (self.next + off) % self.n;
+        debug_assert!(self.next < self.n);
+        let mut i = self.next;
+        for _ in 0..self.n {
             if eligible(i) {
-                self.next = (i + 1) % self.n;
+                self.next = i + 1;
+                if self.next == self.n {
+                    self.next = 0;
+                }
                 return Some(i);
+            }
+            i += 1;
+            if i == self.n {
+                i = 0;
             }
         }
         None

@@ -6,9 +6,20 @@
 //! look-ahead routing the head flit additionally carries the candidate-port
 //! information for the router it is entering, pre-fetched by the previous
 //! router (§3.2, Fig. 4(b)).
+//!
+//! # The lean hot path
+//!
+//! Flits are the unit the simulator copies most: every hop moves one
+//! through an input buffer, a staging buffer, a link pipeline and possibly
+//! a NIC queue. [`Flit`] is therefore a small `Copy` POD holding only what
+//! the router datapath reads — message identity, position, destination and
+//! the head's look-ahead routing state. Everything the *statistics* need
+//! (source node, generation and injection timestamps, the measurement
+//! flag) lives in a single per-message record owned by the network layer
+//! and reached through the flit's [`MsgRef`] handle, so body and tail
+//! flits never drag bookkeeping bytes through the buffers.
 
 use crate::tables::RouteEntry;
-use lapses_sim::Cycle;
 use lapses_topology::NodeId;
 use std::fmt;
 
@@ -21,6 +32,13 @@ impl fmt::Display for MessageId {
         write!(f, "m{}", self.0)
     }
 }
+
+/// Handle to the owning network's per-message record (source, timestamps,
+/// measurement flag). The network layer allocates one per message at offer
+/// time and retires it when the tail ejects; the router datapath carries it
+/// opaquely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgRef(pub u32);
 
 /// Position of a flit within its message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,31 +67,26 @@ impl FlitKind {
     }
 }
 
-/// One flow-control unit traversing the network.
+/// One flow-control unit traversing the network — a small `Copy` value.
 ///
 /// Flits are moved by value between buffers; the head flit's
 /// [`lookahead`](Flit::lookahead) field is rewritten at each hop by
-/// look-ahead routers (the Fig. 4(b) "new header generation").
-#[derive(Debug, Clone, PartialEq)]
+/// look-ahead routers (the Fig. 4(b) "new header generation"). Only head
+/// flits carry meaningful routing state (`dest`, `lookahead`); body and
+/// tail flits follow the wormhole path the head reserved, and their
+/// statistics ride in the per-message record behind [`Flit::rec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
     /// Message this flit belongs to.
     pub msg: MessageId,
-    /// Head / body / tail role.
-    pub kind: FlitKind,
-    /// Source node of the message.
-    pub src: NodeId,
-    /// Destination node of the message.
+    /// Handle to the per-message record (source, timestamps, measured).
+    pub rec: MsgRef,
+    /// Destination node of the message (read by head-flit routing only).
     pub dest: NodeId,
     /// Flit index within the message (head = 0).
     pub seq: u32,
-    /// Cycle the message was generated at the source (includes source
-    /// queueing time).
-    pub created_at: Cycle,
-    /// Cycle the head flit entered the source router (network latency
-    /// starts here).
-    pub injected_at: Cycle,
-    /// Whether the message falls in the measurement window.
-    pub measured: bool,
+    /// Head / body / tail role.
+    pub kind: FlitKind,
     /// Look-ahead routing information for the router this flit is entering:
     /// the candidate ports (and escape route) *at that router*, computed by
     /// the previous router concurrently with its own arbitration. `None` on
@@ -84,18 +97,13 @@ pub struct Flit {
 impl Flit {
     /// Builds the flits of a message, in injection order.
     ///
+    /// `rec` is the per-message record handle the network layer allocated
+    /// for the message's bookkeeping (every flit carries it).
+    ///
     /// # Panics
     ///
     /// Panics if `length` is zero.
-    #[allow(clippy::too_many_arguments)]
-    pub fn message(
-        msg: MessageId,
-        src: NodeId,
-        dest: NodeId,
-        length: u32,
-        created_at: Cycle,
-        measured: bool,
-    ) -> Vec<Flit> {
+    pub fn message(msg: MessageId, rec: MsgRef, dest: NodeId, length: u32) -> Vec<Flit> {
         assert!(length > 0, "messages need at least one flit");
         (0..length)
             .map(|seq| {
@@ -107,13 +115,10 @@ impl Flit {
                 };
                 Flit {
                     msg,
-                    kind,
-                    src,
+                    rec,
                     dest,
                     seq,
-                    created_at,
-                    injected_at: created_at,
-                    measured,
+                    kind,
                     lookahead: None,
                 }
             })
@@ -125,8 +130,8 @@ impl fmt::Display for Flit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}[{}] {:?} {}->{}",
-            self.msg, self.seq, self.kind, self.src, self.dest
+            "{}[{}] {:?} ->{}",
+            self.msg, self.seq, self.kind, self.dest
         )
     }
 }
@@ -137,19 +142,19 @@ mod tests {
 
     #[test]
     fn message_flit_roles() {
-        let flits = Flit::message(MessageId(1), NodeId(0), NodeId(5), 4, Cycle::new(10), true);
+        let flits = Flit::message(MessageId(1), MsgRef(0), NodeId(5), 4);
         assert_eq!(flits.len(), 4);
         assert_eq!(flits[0].kind, FlitKind::Head);
         assert_eq!(flits[1].kind, FlitKind::Body);
         assert_eq!(flits[2].kind, FlitKind::Body);
         assert_eq!(flits[3].kind, FlitKind::Tail);
         assert!(flits.iter().enumerate().all(|(i, f)| f.seq == i as u32));
-        assert!(flits.iter().all(|f| f.measured));
+        assert!(flits.iter().all(|f| f.rec == MsgRef(0)));
     }
 
     #[test]
     fn single_flit_message_is_headtail() {
-        let flits = Flit::message(MessageId(2), NodeId(1), NodeId(2), 1, Cycle::ZERO, false);
+        let flits = Flit::message(MessageId(2), MsgRef(7), NodeId(2), 1);
         assert_eq!(flits.len(), 1);
         assert_eq!(flits[0].kind, FlitKind::HeadTail);
         assert!(flits[0].kind.is_head());
@@ -167,14 +172,26 @@ mod tests {
     }
 
     #[test]
+    fn flit_stays_a_small_pod() {
+        // The whole point of the lean hot path: a flit must stay a few
+        // machine words so buffer moves are cheap memcpys. The budget is
+        // 32 bytes (msg + rec + dest + seq + kind + compact look-ahead).
+        assert!(
+            std::mem::size_of::<Flit>() <= 32,
+            "Flit grew to {} bytes — keep bookkeeping in the message record",
+            std::mem::size_of::<Flit>()
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one flit")]
     fn zero_length_rejected() {
-        let _ = Flit::message(MessageId(0), NodeId(0), NodeId(1), 0, Cycle::ZERO, false);
+        let _ = Flit::message(MessageId(0), MsgRef(0), NodeId(1), 0);
     }
 
     #[test]
     fn display_is_compact() {
-        let flits = Flit::message(MessageId(7), NodeId(3), NodeId(9), 2, Cycle::ZERO, false);
-        assert_eq!(flits[0].to_string(), "m7[0] Head n3->n9");
+        let flits = Flit::message(MessageId(7), MsgRef(0), NodeId(9), 2);
+        assert_eq!(flits[0].to_string(), "m7[0] Head ->n9");
     }
 }

@@ -48,7 +48,7 @@ pub mod tables;
 mod arbiter;
 
 pub use config::{PipelineModel, RouterConfig};
-pub use flit::{Flit, FlitKind, MessageId};
+pub use flit::{Flit, FlitKind, MessageId, MsgRef};
 pub use psh::PathSelection;
-pub use router::{Router, StepOutputs};
+pub use router::{Router, StepOutputs, StepSink};
 pub use tables::{RouteEntry, RouterTable, TableScheme};

@@ -36,7 +36,6 @@ use crate::psh::{PathSelector, PortStatus};
 use crate::tables::{RouteEntry, RouterTable};
 use lapses_sim::{Cycle, SimRng};
 use lapses_topology::{NodeId, Port};
-use std::collections::VecDeque;
 
 /// Credit sentinel for sinks that can always accept (the ejection port).
 pub const INFINITE_CREDITS: u32 = u32::MAX;
@@ -54,27 +53,48 @@ enum VcState {
     Active { out_port: Port, out_vc: u8 },
 }
 
+/// Largest number of ports a router can have (local + 2 per dimension).
+const MAX_PORTS: usize = lapses_topology::MAX_DIMS * 2 + 1;
+
+/// Per-VC input state. The flit storage itself lives in the router's
+/// contiguous input arena; this header only carries the ring cursor.
 #[derive(Debug)]
 struct InputVc {
-    buf: VecDeque<Flit>,
     state: VcState,
     /// Earliest cycle the PROUD table-lookup stage may process a queued
     /// head (blocks same-cycle lookup after the previous tail departs).
     tl_ready_at: u64,
+    /// Ring cursor into this VC's arena segment.
+    head: u16,
+    /// Buffered flits.
+    len: u16,
 }
 
+/// Per-VC output state; staged flits live in the output arena.
 #[derive(Debug)]
 struct OutputVc {
     /// Input VC currently holding this output VC, `(port, vc)`.
     owner: Option<(u8, u8)>,
     /// Free buffer slots at the downstream input VC.
     credits: u32,
-    /// Output staging buffer (post-crossbar, pre-link).
-    staged: VecDeque<Flit>,
+    /// Ring cursor into this VC's arena segment.
+    head: u16,
+    /// Staged flits.
+    len: u16,
 }
 
+/// A flit value used only to initialize arena slots; never observed.
+const FILLER: Flit = Flit {
+    msg: crate::flit::MessageId(u64::MAX),
+    rec: crate::flit::MsgRef(u32::MAX),
+    dest: NodeId(u32::MAX),
+    seq: u32::MAX,
+    kind: crate::flit::FlitKind::Body,
+    lookahead: None,
+};
+
 /// A flit entering a link this cycle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Launch {
     /// Output port the flit leaves through.
     pub port: Port,
@@ -82,6 +102,21 @@ pub struct Launch {
     pub vc: usize,
     /// The flit itself.
     pub flit: Flit,
+}
+
+/// Receives a router's per-cycle outputs as the stages produce them.
+///
+/// The network layer implements this to route launches and credits onto
+/// its wires *directly from the pipeline stages*, skipping the
+/// [`StepOutputs`] staging buffers of the convenience API (which itself
+/// implements the trait). Callbacks arrive in deterministic order: VM
+/// launches in ascending output-port order, then XB credits in crossbar
+/// grant order.
+pub trait StepSink {
+    /// A flit enters the link (or ejection channel) at `(port, vc)`.
+    fn launch(&mut self, port: Port, vc: usize, flit: Flit);
+    /// An input-buffer slot at `(in_port, vc)` freed; credit the upstream.
+    fn credit(&mut self, in_port: Port, vc: usize);
 }
 
 /// Everything a router produced during one cycle, for the network layer to
@@ -104,6 +139,18 @@ impl StepOutputs {
         self.launches.clear();
         self.credits.clear();
         self.moved = false;
+    }
+}
+
+impl StepSink for StepOutputs {
+    #[inline]
+    fn launch(&mut self, port: Port, vc: usize, flit: Flit) {
+        self.launches.push(Launch { port, vc, flit });
+    }
+
+    #[inline]
+    fn credit(&mut self, in_port: Port, vc: usize) {
+        self.credits.push((in_port, vc));
     }
 }
 
@@ -139,6 +186,15 @@ pub struct Router {
     table: RouterTable,
     inputs: Vec<InputVc>,
     outputs: Vec<OutputVc>,
+    /// All input-VC flit buffers, one contiguous ring per VC
+    /// (`vc_index * in_cap ..`): the cache-friendly "flit arena".
+    in_arena: Box<[Flit]>,
+    /// All output staging buffers, one contiguous ring per VC.
+    out_arena: Box<[Flit]>,
+    /// Input buffer depth per VC, in flits.
+    in_cap: u16,
+    /// Output staging depth per VC, in flits.
+    out_cap: u16,
     /// Per output port: VC-multiplexor arbiter over that port's VCs.
     vm_rr: Vec<RoundRobin>,
     /// Per input port: which of its VCs proposes a crossbar transfer.
@@ -159,6 +215,10 @@ pub struct Router {
     /// Bit per output VC (flat index): set while its staging buffer is
     /// non-empty.
     out_occupied: u64,
+    /// Bit per input port: set while any of its VCs is occupied.
+    in_ports: u16,
+    /// Bit per output port: set while any of its VCs holds staged flits.
+    out_ports: u16,
 }
 
 impl std::fmt::Debug for Router {
@@ -197,20 +257,26 @@ impl Router {
         );
         assert_eq!(table.node(), node, "table programmed for a different node");
         let vcs = cfg.vcs_per_port;
+        let in_cap = u16::try_from(cfg.input_buffer_flits).expect("input buffer fits u16");
+        let out_cap = u16::try_from(cfg.output_buffer_flits).expect("output buffer fits u16");
         let inputs = (0..ports * vcs)
             .map(|_| InputVc {
-                buf: VecDeque::with_capacity(cfg.input_buffer_flits),
                 state: VcState::Idle,
                 tl_ready_at: 0,
+                head: 0,
+                len: 0,
             })
             .collect();
         let outputs = (0..ports * vcs)
             .map(|_| OutputVc {
                 owner: None,
                 credits: 0,
-                staged: VecDeque::with_capacity(cfg.output_buffer_flits),
+                head: 0,
+                len: 0,
             })
             .collect();
+        let in_arena = vec![FILLER; ports * vcs * in_cap as usize].into_boxed_slice();
+        let out_arena = vec![FILLER; ports * vcs * out_cap as usize].into_boxed_slice();
         Router {
             node,
             ports,
@@ -219,6 +285,10 @@ impl Router {
             table,
             inputs,
             outputs,
+            in_arena,
+            out_arena,
+            in_cap,
+            out_cap,
             vm_rr: (0..ports).map(|_| RoundRobin::new(vcs)).collect(),
             xb_in_rr: (0..ports).map(|_| RoundRobin::new(vcs)).collect(),
             xb_out_rr: (0..ports).map(|_| RoundRobin::new(ports)).collect(),
@@ -229,6 +299,8 @@ impl Router {
             staged_flits: 0,
             in_occupied: 0,
             out_occupied: 0,
+            in_ports: 0,
+            out_ports: 0,
         }
     }
 
@@ -266,7 +338,7 @@ impl Router {
 
     /// Occupancy of input buffer `(port, vc)` in flits.
     pub fn input_occupancy(&self, port: Port, vc: usize) -> usize {
-        self.inputs[self.in_idx(port, vc)].buf.len()
+        self.inputs[self.in_idx(port, vc)].len as usize
     }
 
     /// Whether the router holds no flits at all (input or staged).
@@ -286,6 +358,77 @@ impl Router {
         port.index() * self.cfg.vcs_per_port + vc
     }
 
+    // Ring-buffer primitives over the flit arenas. Each VC owns the arena
+    // segment `idx * cap .. (idx + 1) * cap`; cursors wrap with a compare
+    // instead of a modulo so the hot path never divides.
+
+    #[inline]
+    fn ibuf_push(&mut self, idx: usize, flit: Flit) {
+        let cap = self.in_cap;
+        let vc = &mut self.inputs[idx];
+        debug_assert!(vc.len < cap, "input ring overflow");
+        let mut slot = vc.head + vc.len;
+        if slot >= cap {
+            slot -= cap;
+        }
+        vc.len += 1;
+        self.in_arena[idx * cap as usize + slot as usize] = flit;
+    }
+
+    #[inline]
+    fn ibuf_pop(&mut self, idx: usize) -> Flit {
+        let cap = self.in_cap;
+        let vc = &mut self.inputs[idx];
+        debug_assert!(vc.len > 0, "input ring underflow");
+        let slot = idx * cap as usize + vc.head as usize;
+        vc.head += 1;
+        if vc.head == cap {
+            vc.head = 0;
+        }
+        vc.len -= 1;
+        self.in_arena[slot]
+    }
+
+    #[inline]
+    fn ibuf_front(&self, idx: usize) -> Option<&Flit> {
+        let vc = &self.inputs[idx];
+        (vc.len > 0).then(|| &self.in_arena[idx * self.in_cap as usize + vc.head as usize])
+    }
+
+    #[inline]
+    fn ibuf_front_mut(&mut self, idx: usize) -> &mut Flit {
+        let vc = &self.inputs[idx];
+        debug_assert!(vc.len > 0, "no front flit");
+        &mut self.in_arena[idx * self.in_cap as usize + vc.head as usize]
+    }
+
+    #[inline]
+    fn obuf_push(&mut self, idx: usize, flit: Flit) {
+        let cap = self.out_cap;
+        let vc = &mut self.outputs[idx];
+        debug_assert!(vc.len < cap, "staging ring overflow");
+        let mut slot = vc.head + vc.len;
+        if slot >= cap {
+            slot -= cap;
+        }
+        vc.len += 1;
+        self.out_arena[idx * cap as usize + slot as usize] = flit;
+    }
+
+    #[inline]
+    fn obuf_pop(&mut self, idx: usize) -> Flit {
+        let cap = self.out_cap;
+        let vc = &mut self.outputs[idx];
+        debug_assert!(vc.len > 0, "staging ring underflow");
+        let slot = idx * cap as usize + vc.head as usize;
+        vc.head += 1;
+        if vc.head == cap {
+            vc.head = 0;
+        }
+        vc.len -= 1;
+        self.out_arena[slot]
+    }
+
     /// SY stage: a flit delivered by the upstream link (or injected by the
     /// local network interface) lands in its input VC buffer.
     ///
@@ -300,15 +443,15 @@ impl Router {
     /// arrives without look-ahead information.
     pub fn accept_flit(&mut self, port: Port, vc: usize, flit: Flit, now: Cycle) {
         let idx = self.in_idx(port, vc);
-        let ivc = &mut self.inputs[idx];
         assert!(
-            ivc.buf.len() < self.cfg.input_buffer_flits,
+            self.inputs[idx].len < self.in_cap,
             "input buffer overflow at {} {port} vc{vc}: flow control violated",
             self.node
         );
-        ivc.buf.push_back(flit);
+        self.ibuf_push(idx, flit);
         self.buffered_flits += 1;
         self.in_occupied |= 1 << idx;
+        self.in_ports |= 1 << port.index();
         if self.cfg.pipeline.is_lookahead() {
             self.try_lookahead_promote(idx, now);
         }
@@ -339,142 +482,164 @@ impl Router {
     /// buffer (cleared first). Routers holding no flits return immediately.
     pub fn step_into(&mut self, now: Cycle, out: &mut StepOutputs) {
         out.clear();
+        out.moved = self.step_with(now, out);
+    }
+
+    /// Runs one cycle, streaming launches and credits into `sink` as the
+    /// stages produce them. Returns whether any flit moved or allocation
+    /// succeeded. Routers holding no flits return immediately.
+    pub fn step_with<S: StepSink>(&mut self, now: Cycle, sink: &mut S) -> bool {
         if self.buffered_flits == 0 && self.staged_flits == 0 {
-            return;
+            return false;
         }
-        self.vm_stage(out);
-        self.xb_stage(now, out);
-        self.sa_stage(now, out);
+        let mut moved = self.vm_stage(sink);
+        moved |= self.xb_stage(now, sink);
+        moved |= self.sa_stage(now);
         self.tl_stage(now);
+        moved
     }
 
     /// VM stage: per output port, one staged flit with credits enters the
     /// link; the tail releases the output VC.
-    fn vm_stage(&mut self, out: &mut StepOutputs) {
+    fn vm_stage<S: StepSink>(&mut self, sink: &mut S) -> bool {
         if self.staged_flits == 0 {
-            return;
+            return false;
         }
+        let mut moved = false;
         let vcs = self.cfg.vcs_per_port;
-        for p in 0..self.ports {
+        let vcmask = (1u64 << vcs) - 1;
+        let mut pmask = self.out_ports;
+        while pmask != 0 {
+            let p = pmask.trailing_zeros() as usize;
+            pmask &= pmask - 1;
             let base = p * vcs;
-            let port_mask = (self.out_occupied >> base) & ((1u64 << vcs) - 1);
-            if port_mask == 0 {
-                continue;
-            }
+            let port_mask = (self.out_occupied >> base) & vcmask;
+            debug_assert!(port_mask != 0, "stale out_ports bit");
             let outputs = &self.outputs;
             let granted =
                 self.vm_rr[p].grant(|v| port_mask & (1 << v) != 0 && outputs[base + v].credits > 0);
             if let Some(v) = granted {
-                let o = &mut self.outputs[base + v];
-                let flit = o.staged.pop_front().expect("granted VC has a flit");
+                let idx = base + v;
+                let flit = self.obuf_pop(idx);
                 self.staged_flits -= 1;
-                if o.staged.is_empty() {
-                    self.out_occupied &= !(1 << (base + v));
+                if self.outputs[idx].len == 0 {
+                    self.out_occupied &= !(1 << idx);
+                    if (self.out_occupied >> base) & vcmask == 0 {
+                        self.out_ports &= !(1 << p);
+                    }
                 }
+                let o = &mut self.outputs[idx];
                 if o.credits != INFINITE_CREDITS {
                     o.credits -= 1;
                 }
                 if flit.kind.is_tail() {
                     o.owner = None;
                 }
-                out.launches.push(Launch {
-                    port: Port::from_index(p),
-                    vc: v,
-                    flit,
-                });
-                out.moved = true;
+                sink.launch(Port::from_index(p), v, flit);
+                moved = true;
             }
         }
+        moved
     }
 
     /// XB stage: separable switch allocation; winners move one flit from
     /// their input buffer to the output staging buffer and free a credit.
-    fn xb_stage(&mut self, now: Cycle, out: &mut StepOutputs) {
+    fn xb_stage<S: StepSink>(&mut self, now: Cycle, sink: &mut S) -> bool {
         if self.buffered_flits == 0 {
-            return;
+            return false;
         }
+        let mut moved = false;
         let vcs = self.cfg.vcs_per_port;
-        // Input arbitration: each input port proposes one of its VCs.
-        let mut proposals = [None::<(usize, usize)>; lapses_topology::MAX_DIMS * 2 + 1];
+        let vcmask = (1u64 << vcs) - 1;
+        // Input arbitration: each occupied input port proposes one of its
+        // VCs. Proposals are packed small-int arrays (no per-call Option
+        // zeroing, no divisions downstream).
+        let mut prop_vc = [0u8; MAX_PORTS];
+        let mut prop_of = [u16::MAX; MAX_PORTS]; // flat output VC index
+        let mut prop_op = [0u8; MAX_PORTS]; // proposal's output port
         let mut requested_outputs = 0u16; // bit per output port
-        for (p, proposal) in proposals.iter_mut().enumerate().take(self.ports) {
+        let mut pmask = self.in_ports;
+        while pmask != 0 {
+            let p = pmask.trailing_zeros() as usize;
+            pmask &= pmask - 1;
             let base = p * vcs;
-            let port_mask = (self.in_occupied >> base) & ((1u64 << vcs) - 1);
-            if port_mask == 0 {
-                continue;
-            }
+            let port_mask = (self.in_occupied >> base) & vcmask;
+            debug_assert!(port_mask != 0, "stale in_ports bit");
             let inputs = &self.inputs;
             let outputs = &self.outputs;
-            let out_cap = self.cfg.output_buffer_flits;
+            let out_cap = self.out_cap;
             let granted = self.xb_in_rr[p].grant(|v| {
                 if port_mask & (1 << v) == 0 {
                     return false;
                 }
-                let ivc = &inputs[base + v];
-                match ivc.state {
+                match inputs[base + v].state {
                     VcState::Active { out_port, out_vc } => {
-                        outputs[out_port.index() * vcs + out_vc as usize]
-                            .staged
-                            .len()
-                            < out_cap
+                        outputs[out_port.index() * vcs + out_vc as usize].len < out_cap
                     }
                     _ => false,
                 }
             });
             if let Some(v) = granted {
-                let VcState::Active { out_port, out_vc } = self.inputs[p * vcs + v].state else {
+                let VcState::Active { out_port, out_vc } = self.inputs[base + v].state else {
                     unreachable!("granted VC is active");
                 };
-                *proposal = Some((v, out_port.index() * vcs + out_vc as usize));
+                prop_vc[p] = v as u8;
+                prop_of[p] = (out_port.index() * vcs + out_vc as usize) as u16;
+                prop_op[p] = out_port.index() as u8;
                 requested_outputs |= 1 << out_port.index();
             }
         }
         // Output arbitration: one winning input port per output port.
-        for op in 0..self.ports {
-            if requested_outputs & (1 << op) == 0 {
-                continue;
-            }
-            let winner =
-                self.xb_out_rr[op].grant(|ip| proposals[ip].is_some_and(|(_, of)| of / vcs == op));
+        let mut omask = requested_outputs;
+        while omask != 0 {
+            let op = omask.trailing_zeros() as usize;
+            omask &= omask - 1;
+            let winner = self.xb_out_rr[op]
+                .grant(|ip| prop_of[ip] != u16::MAX && prop_op[ip] as usize == op);
             let Some(ip) = winner else { continue };
-            let (iv, of) = proposals[ip].expect("winner proposed");
-            proposals[ip] = None; // an input port sends at most one flit
-            let ivc = &mut self.inputs[ip * vcs + iv];
-            let flit = ivc.buf.pop_front().expect("proposal had a flit");
+            let iv = prop_vc[ip] as usize;
+            let of = prop_of[ip] as usize;
+            prop_of[ip] = u16::MAX; // an input port sends at most one flit
+            let in_idx = ip * vcs + iv;
+            let flit = self.ibuf_pop(in_idx);
             self.buffered_flits -= 1;
-            if ivc.buf.is_empty() {
-                self.in_occupied &= !(1 << (ip * vcs + iv));
+            if self.inputs[in_idx].len == 0 {
+                self.in_occupied &= !(1 << in_idx);
+                if (self.in_occupied >> (ip * vcs)) & vcmask == 0 {
+                    self.in_ports &= !(1 << ip);
+                }
             }
-            out.credits.push((Port::from_index(ip), iv));
+            sink.credit(Port::from_index(ip), iv);
             if flit.kind.is_tail() {
                 // The freed VC's next header is decoded by the TL phase of
                 // *this* cycle (it runs after SA), so its earliest
                 // selection attempt is next cycle — in LA-PROUD. PROUD
                 // additionally pays the table-lookup cycle, enforced by
                 // `tl_ready_at`.
+                let ivc = &mut self.inputs[in_idx];
                 ivc.state = VcState::Idle;
                 ivc.tl_ready_at = now.as_u64() + 1;
             }
-            self.selector.note_port_used(
-                Port::from_index(of / vcs),
-                now.as_u64(),
-                flit.kind.is_head(),
-            );
+            self.selector
+                .note_port_used(Port::from_index(op), now.as_u64(), flit.kind.is_head());
             self.stats.flits_switched += 1;
-            self.outputs[of].staged.push_back(flit);
+            self.obuf_push(of, flit);
             self.staged_flits += 1;
             self.out_occupied |= 1 << of;
-            out.moved = true;
+            self.out_ports |= 1 << op;
+            moved = true;
         }
+        moved
     }
 
     /// SA stage: selection + output-VC allocation for waiting headers, with
     /// the Duato escape fallback; LA-PROUD concurrently performs the next
     /// hop's table lookup and rewrites the header.
-    fn sa_stage(&mut self, now: Cycle, out: &mut StepOutputs) {
+    fn sa_stage(&mut self, now: Cycle) -> bool {
         if self.buffered_flits == 0 {
-            return;
+            return false;
         }
+        let mut moved = false;
         let vcs = self.cfg.vcs_per_port;
         let mut occupied = self.in_occupied;
         while occupied != 0 {
@@ -486,10 +651,7 @@ impl Router {
             if now.as_u64() < ready_at {
                 continue; // table RAM still busy
             }
-            let head = self.inputs[idx]
-                .buf
-                .front()
-                .expect("selecting VC holds its header");
+            let head = self.ibuf_front(idx).expect("selecting VC holds its header");
             debug_assert!(head.kind.is_head(), "selection on a non-head flit");
             let dest = head.dest;
 
@@ -499,8 +661,7 @@ impl Router {
                         Some(((idx / vcs) as u8, (idx % vcs) as u8));
                     let lookahead = (self.cfg.pipeline.is_lookahead() && !out_port.is_local())
                         .then(|| self.table.lookahead_entry(out_port, dest));
-                    let head = self.inputs[idx].buf.front_mut().expect("header present");
-                    head.lookahead = lookahead;
+                    self.ibuf_front_mut(idx).lookahead = lookahead;
                     self.inputs[idx].state = VcState::Active {
                         out_port,
                         out_vc: out_vc as u8,
@@ -511,7 +672,7 @@ impl Router {
                     } else {
                         self.stats.adaptive_allocations += 1;
                     }
-                    out.moved = true;
+                    moved = true;
                 }
                 None => {
                     self.stats.selection_stall_cycles += 1;
@@ -519,6 +680,7 @@ impl Router {
             }
             let _ = now;
         }
+        moved
     }
 
     /// Tries to reserve an output VC for a header with the given route
@@ -643,7 +805,7 @@ impl Router {
             if ivc.state != VcState::Idle || now.as_u64() < ivc.tl_ready_at {
                 continue;
             }
-            let Some(front) = ivc.buf.front() else {
+            let Some(front) = self.ibuf_front(idx) else {
                 continue;
             };
             if !front.kind.is_head() {
@@ -662,11 +824,10 @@ impl Router {
     /// front, arm the selection stage from the header's carried candidate
     /// information (the look-ahead decode, costing no pipeline stage).
     fn try_lookahead_promote(&mut self, idx: usize, now: Cycle) {
-        let ivc = &self.inputs[idx];
-        if ivc.state != VcState::Idle {
+        if self.inputs[idx].state != VcState::Idle {
             return;
         }
-        let Some(front) = ivc.buf.front() else {
+        let Some(front) = self.ibuf_front(idx) else {
             return;
         };
         if !front.kind.is_head() {
@@ -701,7 +862,7 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::{FlitKind, MessageId};
+    use crate::flit::{FlitKind, MessageId, MsgRef};
     use crate::psh::PathSelection;
     use crate::tables::{FullTable, TableScheme};
     use lapses_routing::DuatoAdaptive;
@@ -738,14 +899,7 @@ mod tests {
     }
 
     fn message(dest: u32, len: u32) -> Vec<Flit> {
-        Flit::message(
-            MessageId(1),
-            NodeId(0),
-            NodeId(dest),
-            len,
-            Cycle::ZERO,
-            true,
-        )
+        Flit::message(MessageId(1), MsgRef(0), NodeId(dest), len)
     }
 
     fn with_lookahead(mut flits: Vec<Flit>, router: &Router) -> Vec<Flit> {
@@ -771,7 +925,7 @@ mod tests {
         let mut r = line_router(RouterConfig::paper_adaptive());
         let flits = message(3, 1);
         // SY at cycle 0.
-        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        r.accept_flit(Port::LOCAL, 0, flits[0], Cycle::ZERO);
         let launches = run(&mut r, 1, 10);
         assert_eq!(launches.len(), 1);
         let (t, l) = &launches[0];
@@ -784,7 +938,7 @@ mod tests {
     fn la_proud_header_saves_one_cycle() {
         let mut r = line_router(RouterConfig::paper_adaptive().with_lookahead(true));
         let flits = with_lookahead(message(3, 1), &r);
-        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        r.accept_flit(Port::LOCAL, 0, flits[0], Cycle::ZERO);
         let launches = run(&mut r, 1, 10);
         assert_eq!(launches.len(), 1);
         // SA=1, XB=2, VM=3.
@@ -796,7 +950,7 @@ mod tests {
         let mut r = line_router(RouterConfig::paper_adaptive());
         let flits = message(3, 4);
         for (i, f) in flits.iter().enumerate() {
-            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::new(i as u64));
+            r.accept_flit(Port::LOCAL, 0, *f, Cycle::new(i as u64));
         }
         let launches = run(&mut r, 1, 12);
         let times: Vec<u64> = launches.iter().map(|(t, _)| *t).collect();
@@ -810,7 +964,7 @@ mod tests {
         let mut r = line_router(RouterConfig::paper_adaptive());
         let flits = message(3, 2);
         for f in &flits {
-            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+            r.accept_flit(Port::LOCAL, 0, *f, Cycle::ZERO);
         }
         let launches = run(&mut r, 1, 10);
         assert_eq!(launches.len(), 2);
@@ -833,7 +987,7 @@ mod tests {
         }
         let flits = message(3, 3);
         for f in &flits {
-            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+            r.accept_flit(Port::LOCAL, 0, *f, Cycle::ZERO);
         }
         let launches = run(&mut r, 1, 10);
         assert_eq!(launches.len(), 1, "only one credit, only one launch");
@@ -857,10 +1011,10 @@ mod tests {
             f.msg = MessageId(2);
         }
         for f in &m1 {
-            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+            r.accept_flit(Port::LOCAL, 0, *f, Cycle::ZERO);
         }
         for f in &m2 {
-            r.accept_flit(Port::LOCAL, 1, f.clone(), Cycle::ZERO);
+            r.accept_flit(Port::LOCAL, 1, *f, Cycle::ZERO);
         }
         let _ = run(&mut r, 1, 6);
         let s = r.stats();
@@ -888,7 +1042,7 @@ mod tests {
         }
         // Two messages on the same input VC, back to back.
         for f in m1.iter().chain(&m2) {
-            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+            r.accept_flit(Port::LOCAL, 0, *f, Cycle::ZERO);
         }
         let launches = run(&mut r, 1, 20);
         assert_eq!(launches.len(), 4);
@@ -904,7 +1058,7 @@ mod tests {
         let flits = message(1, 2); // dest == router node
         let minus = Port::from(Direction::minus(0));
         for f in &flits {
-            r.accept_flit(minus, 0, f.clone(), Cycle::ZERO);
+            r.accept_flit(minus, 0, *f, Cycle::ZERO);
         }
         let launches = run(&mut r, 1, 10);
         assert_eq!(launches.len(), 2);
@@ -915,7 +1069,7 @@ mod tests {
     fn lookahead_header_is_rewritten_per_hop() {
         let mut r = line_router(RouterConfig::paper_adaptive().with_lookahead(true));
         let flits = with_lookahead(message(3, 1), &r);
-        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        r.accept_flit(Port::LOCAL, 0, flits[0], Cycle::ZERO);
         let launches = run(&mut r, 1, 6);
         let out = &launches[0].1.flit;
         // The launched header carries node 2's entry for destination 3.
@@ -929,7 +1083,7 @@ mod tests {
     fn proud_headers_do_not_carry_lookahead() {
         let mut r = line_router(RouterConfig::paper_adaptive());
         let flits = message(3, 1);
-        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        r.accept_flit(Port::LOCAL, 0, flits[0], Cycle::ZERO);
         let launches = run(&mut r, 1, 6);
         assert!(launches[0].1.flit.lookahead.is_none());
     }
@@ -939,7 +1093,7 @@ mod tests {
         let mut r = line_router(RouterConfig::paper_adaptive());
         let flits = message(3, 2);
         for f in &flits {
-            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+            r.accept_flit(Port::LOCAL, 0, *f, Cycle::ZERO);
         }
         let mut credited = 0;
         for t in 1..=8 {
@@ -969,7 +1123,7 @@ mod tests {
                 m1
             };
             for f in m1.iter().chain(&m2) {
-                r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+                r.accept_flit(Port::LOCAL, 0, *f, Cycle::ZERO);
             }
             let launches = run(&mut r, 1, 24);
             assert_eq!(launches.len(), 4);
@@ -994,7 +1148,7 @@ mod tests {
         let mut r = line_router(cfg);
         let flits = message(3, 3);
         for f in &flits {
-            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+            r.accept_flit(Port::LOCAL, 0, *f, Cycle::ZERO);
         }
     }
 
@@ -1018,8 +1172,8 @@ mod tests {
             }
         }
         let dest = mesh.id_at(&[3, 3]).unwrap();
-        let flits = Flit::message(MessageId(9), NodeId(0), dest, 1, Cycle::ZERO, true);
-        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        let flits = Flit::message(MessageId(9), MsgRef(0), dest, 1);
+        r.accept_flit(Port::LOCAL, 0, flits[0], Cycle::ZERO);
         let launches = run(&mut r, 1, 6);
         assert_eq!(launches.len(), 1);
         assert_eq!(r.stats().multi_candidate_decisions, 1);
@@ -1031,7 +1185,7 @@ mod tests {
         let mut r = line_router(RouterConfig::paper_adaptive());
         let flits = message(3, 3);
         for f in &flits {
-            r.accept_flit(Port::LOCAL, 0, f.clone(), Cycle::ZERO);
+            r.accept_flit(Port::LOCAL, 0, *f, Cycle::ZERO);
         }
         let launches = run(&mut r, 1, 10);
         let kinds: Vec<FlitKind> = launches.iter().map(|(_, l)| l.flit.kind).collect();
@@ -1043,7 +1197,7 @@ mod tests {
         // A 2-cycle lookup adds exactly one cycle to the header path.
         let mut r = line_router(RouterConfig::paper_adaptive().with_table_lookup_cycles(2));
         let flits = message(3, 1);
-        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        r.accept_flit(Port::LOCAL, 0, flits[0], Cycle::ZERO);
         let launches = run(&mut r, 1, 10);
         assert_eq!(launches.len(), 1);
         // Baseline PROUD launches at 4; with k=2 at 5.
@@ -1061,7 +1215,7 @@ mod tests {
                 .with_table_lookup_cycles(2),
         );
         let flits = with_lookahead(message(3, 1), &r);
-        r.accept_flit(Port::LOCAL, 0, flits[0].clone(), Cycle::ZERO);
+        r.accept_flit(Port::LOCAL, 0, flits[0], Cycle::ZERO);
         let launches = run(&mut r, 1, 10);
         assert_eq!(launches.len(), 1);
         assert_eq!(launches[0].0, 4);

@@ -6,7 +6,7 @@ use lapses_topology::{NodeId, Port};
 use std::collections::VecDeque;
 
 /// A flit in flight toward a router input (or a NIC ejection buffer).
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct FlitDelivery {
     pub node: NodeId,
     /// Input port at the receiving router; the local port means ejection
@@ -34,10 +34,17 @@ pub(crate) struct CreditDelivery {
 pub(crate) struct DeliveryQueues {
     flit_delay: u64,
     credit_delay: u64,
-    /// `flits[t % ring]` holds flits arriving at cycle `t`.
+    /// `flits[t % ring]` holds flits arriving at cycle `t`; the slot for
+    /// the current cycle is tracked incrementally (`flit_now`/`flit_slot`)
+    /// so the hot path never computes a modulo.
     flits: Vec<VecDeque<FlitDelivery>>,
     credits: Vec<VecDeque<CreditDelivery>>,
     in_flight_flits: usize,
+    /// Cycle `flit_slot` corresponds to. Accesses must be monotone in time.
+    flit_now: u64,
+    flit_slot: usize,
+    credit_now: u64,
+    credit_slot: usize,
 }
 
 impl DeliveryQueues {
@@ -60,49 +67,93 @@ impl DeliveryQueues {
             flits: (0..=flit_delay).map(|_| VecDeque::new()).collect(),
             credits: (0..=credit_delay).map(|_| VecDeque::new()).collect(),
             in_flight_flits: 0,
+            flit_now: 0,
+            flit_slot: 0,
+            credit_now: 0,
+            credit_slot: 0,
         }
+    }
+
+    /// Advances the flit ring's "current slot" cursor to `now`. The cycle
+    /// loop moves one cycle at a time, so this is one wrapping increment.
+    #[inline]
+    fn flit_slot_at(&mut self, now: u64) -> usize {
+        debug_assert!(now >= self.flit_now, "delivery time went backwards");
+        while self.flit_now < now {
+            self.flit_now += 1;
+            self.flit_slot += 1;
+            if self.flit_slot == self.flits.len() {
+                self.flit_slot = 0;
+            }
+        }
+        self.flit_slot
+    }
+
+    /// Advances the credit ring's cursor to `now`.
+    #[inline]
+    fn credit_slot_at(&mut self, now: u64) -> usize {
+        debug_assert!(now >= self.credit_now, "delivery time went backwards");
+        while self.credit_now < now {
+            self.credit_now += 1;
+            self.credit_slot += 1;
+            if self.credit_slot == self.credits.len() {
+                self.credit_slot = 0;
+            }
+        }
+        self.credit_slot
     }
 
     /// Schedules a flit launched during `now` to arrive `flit_delay` later.
     pub fn send_flit(&mut self, now: Cycle, delivery: FlitDelivery) {
-        let slot = ((now.as_u64() + self.flit_delay) % self.flits.len() as u64) as usize;
+        let mut slot = self.flit_slot_at(now.as_u64()) + self.flit_delay as usize;
+        if slot >= self.flits.len() {
+            slot -= self.flits.len();
+        }
         self.flits[slot].push_back(delivery);
         self.in_flight_flits += 1;
     }
 
     /// Schedules a credit emitted during `now`.
     pub fn send_credit(&mut self, now: Cycle, delivery: CreditDelivery) {
-        let slot = ((now.as_u64() + self.credit_delay) % self.credits.len() as u64) as usize;
+        let mut slot = self.credit_slot_at(now.as_u64()) + self.credit_delay as usize;
+        if slot >= self.credits.len() {
+            slot -= self.credits.len();
+        }
         self.credits[slot].push_back(delivery);
     }
 
     /// Removes and returns the flits arriving at `now`.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn take_flits(&mut self, now: Cycle) -> VecDeque<FlitDelivery> {
-        let slot = (now.as_u64() % self.flits.len() as u64) as usize;
+        let slot = self.flit_slot_at(now.as_u64());
         let out = std::mem::take(&mut self.flits[slot]);
         self.in_flight_flits -= out.len();
         out
     }
 
-    /// Drains the flits arriving at `now` into `out` (keeps capacity).
-    pub fn drain_flits_into(&mut self, now: Cycle, out: &mut Vec<FlitDelivery>) {
-        let slot = (now.as_u64() % self.flits.len() as u64) as usize;
-        self.in_flight_flits -= self.flits[slot].len();
-        out.extend(self.flits[slot].drain(..));
+    /// Swaps the bucket of flits arriving at `now` with `buf` (which must
+    /// be empty): the caller gets the arrivals without copying a single
+    /// delivery, and the bucket inherits `buf`'s capacity for reuse.
+    pub fn swap_flits(&mut self, now: Cycle, buf: &mut VecDeque<FlitDelivery>) {
+        debug_assert!(buf.is_empty(), "swap target must be empty");
+        let slot = self.flit_slot_at(now.as_u64());
+        std::mem::swap(&mut self.flits[slot], buf);
+        self.in_flight_flits -= buf.len();
     }
 
     /// Removes and returns the credits arriving at `now`.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn take_credits(&mut self, now: Cycle) -> VecDeque<CreditDelivery> {
-        let slot = (now.as_u64() % self.credits.len() as u64) as usize;
+        let slot = self.credit_slot_at(now.as_u64());
         std::mem::take(&mut self.credits[slot])
     }
 
-    /// Drains the credits arriving at `now` into `out` (keeps capacity).
-    pub fn drain_credits_into(&mut self, now: Cycle, out: &mut Vec<CreditDelivery>) {
-        let slot = (now.as_u64() % self.credits.len() as u64) as usize;
-        out.extend(self.credits[slot].drain(..));
+    /// Swaps the bucket of credits arriving at `now` with `buf` (must be
+    /// empty), mirroring [`DeliveryQueues::swap_flits`].
+    pub fn swap_credits(&mut self, now: Cycle, buf: &mut VecDeque<CreditDelivery>) {
+        debug_assert!(buf.is_empty(), "swap target must be empty");
+        let slot = self.credit_slot_at(now.as_u64());
+        std::mem::swap(&mut self.credits[slot], buf);
     }
 
     /// Flits currently on the wire.
@@ -114,10 +165,10 @@ impl DeliveryQueues {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lapses_core::{Flit, MessageId};
+    use lapses_core::{Flit, MessageId, MsgRef};
 
     fn flit() -> Flit {
-        Flit::message(MessageId(1), NodeId(0), NodeId(1), 1, Cycle::ZERO, false)
+        Flit::message(MessageId(1), MsgRef(0), NodeId(1), 1)
             .pop()
             .expect("one flit")
     }

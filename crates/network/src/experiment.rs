@@ -187,6 +187,10 @@ pub struct SimConfig {
     pub stall_window: u64,
     /// Aggregate NIC backlog (messages) that declares saturation.
     pub backlog_limit: u64,
+    /// Whether the network steps only active components (the default) or
+    /// scans every router and NIC each cycle. Both modes are bit-identical
+    /// — see [`Network::set_active_scheduling`].
+    pub active_scheduling: bool,
 }
 
 impl SimConfig {
@@ -216,6 +220,7 @@ impl SimConfig {
             link_delay: 1,
             max_cycles: 10_000_000,
             stall_window: 20_000,
+            active_scheduling: true,
         }
     }
 
@@ -316,6 +321,13 @@ impl SimConfig {
         self
     }
 
+    /// Switches the network's active-set scheduler on or off (differential
+    /// testing; results are bit-identical either way).
+    pub fn with_active_scheduling(mut self, enabled: bool) -> SimConfig {
+        self.active_scheduling = enabled;
+        self
+    }
+
     /// Applies `LAPSES_WARMUP_MSGS` / `LAPSES_MEASURE_MSGS` environment
     /// overrides, letting the benches run the full paper protocol on
     /// demand without recompiling.
@@ -360,6 +372,7 @@ impl SimConfig {
             self.link_delay,
             self.seed,
         );
+        net.set_active_scheduling(self.active_scheduling);
 
         let pattern = self.pattern.build();
         let arrivals = Exponential::new(Generator::mean_gap_for_load(
@@ -378,19 +391,34 @@ impl SimConfig {
         let mut watchdog = ProgressWatchdog::new(self.stall_window, self.backlog_limit);
         let mut clock = Cycle::ZERO;
 
+        // Generators are polled through a due-time heap: a poll strictly
+        // before a generator's `next_due_cycle` is a state-preserving
+        // no-op, so only due generators are visited. Ties pop in node
+        // order — the order the plain per-cycle scan uses — which keeps
+        // the injection sequence (and thus the whole run) bit-identical.
+        let mut due: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> = self
+            .mesh
+            .nodes()
+            .map(|n| std::cmp::Reverse((0u64, n.0)))
+            .collect();
+
         loop {
-            if phase.accepting_injections() {
-                'gen: for g in generators.iter_mut() {
-                    let src = g.src();
-                    for spec in g.poll(clock, &self.mesh, pattern.as_ref(), &arrivals, self.lengths)
-                    {
-                        if !phase.accepting_injections() {
-                            break 'gen;
-                        }
-                        let measured = phase.note_injection();
-                        net.offer_message(src, spec.dest, spec.length, clock, measured);
-                    }
+            while phase.accepting_injections() {
+                match due.peek() {
+                    Some(&std::cmp::Reverse((t, _))) if t <= clock.as_u64() => {}
+                    _ => break,
                 }
+                let std::cmp::Reverse((_, node)) = due.pop().expect("peeked entry");
+                let g = &mut generators[node as usize];
+                let src = g.src();
+                for spec in g.poll(clock, &self.mesh, pattern.as_ref(), &arrivals, self.lengths) {
+                    if !phase.accepting_injections() {
+                        break;
+                    }
+                    let measured = phase.note_injection();
+                    net.offer_message(src, spec.dest, spec.length, clock, measured);
+                }
+                due.push(std::cmp::Reverse((g.next_due_cycle(), node)));
             }
 
             let summary = net.step(clock);

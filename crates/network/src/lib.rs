@@ -36,7 +36,9 @@ pub mod report;
 pub mod stats;
 pub mod sweep;
 
+mod active;
 mod delivery;
+mod messages;
 mod nic;
 
 pub use experiment::{Algorithm, Pattern, SimConfig, TableKind};

@@ -1,8 +1,48 @@
 //! The assembled network: routers, links, NICs and the cycle loop.
+//!
+//! # The activity-tracked scheduler
+//!
+//! `Network::step` only visits components that can possibly do work this
+//! cycle, tracked in two word-packed bitsets ([`crate::active`]):
+//!
+//! * **Routers** are active exactly while they hold at least one flit
+//!   (input-buffered or staged). A flitless router's `step` is a no-op by
+//!   construction — every pipeline stage starts from buffer occupancy —
+//!   and credits arriving at a flitless router only top up counters read
+//!   by later allocations, so skipping its step is observationally
+//!   equivalent to running it.
+//! * **NICs** are active while they have injectable work: a waiting
+//!   message can bind to a free VC, or a streaming VC has both flits and
+//!   credits. NIC state changes only through its own methods, so an
+//!   uninjectable NIC is frozen until an external event re-wakes it.
+//!
+//! Wake-ups mirror the only events that create work:
+//!
+//! * a **flit delivery** (link arrival or NIC injection) wakes the
+//!   receiving router;
+//! * a **message offer** wakes the source NIC;
+//! * an **injection credit** returning to the local port wakes the NIC;
+//! * router-to-router **credits** are applied immediately to the upstream
+//!   router's counters and need no wake: only a router that also holds
+//!   flits can act on them, and such a router is already active.
+//!
+//! Quiescence therefore implies no observable events: with no flits in
+//! routers, no deliveries on the wires and no injectable NIC work, no
+//! component's step could change any state, so idle cycles cost O(1).
+//!
+//! Active-set iteration walks set bits in ascending node order — the same
+//! order the always-step loop uses — and skipped components are exactly
+//! the no-op ones, which is why every statistic, RNG draw and arbitration
+//! decision is **bit-identical** with the scheduler on or off
+//! ([`Network::set_active_scheduling`]; the `scheduler_equivalence`
+//! integration test enforces this across patterns, loads and pipelines).
 
+use crate::active::ActiveSet;
 use crate::delivery::{CreditDelivery, DeliveryQueues, FlitDelivery};
+use crate::messages::{MessageRecord, MessageStore};
 use crate::nic::Nic;
 use lapses_core::router::RouterStats;
+use lapses_core::router::StepSink;
 use lapses_core::router::INFINITE_CREDITS;
 use lapses_core::{Flit, MessageId, Router, RouterConfig, RouterTable, TableScheme};
 use lapses_sim::{Cycle, Histogram, RunningStats, SimRng};
@@ -33,6 +73,9 @@ pub struct Network {
     program: Arc<dyn TableScheme>,
     lookahead: bool,
     next_msg: u64,
+    /// Per-message bookkeeping (source, timestamps, measured flag) behind
+    /// the flits' `MsgRef` handles.
+    messages: MessageStore,
     /// Network latency (head injection → tail ejection) of measured
     /// messages.
     latency: RunningStats,
@@ -41,12 +84,102 @@ pub struct Network {
     histogram: Histogram,
     /// Flits launched per (node, port), for link-utilization reports.
     link_flits: Vec<u64>,
+    /// Downstream node per `(node, direction port)` — `u32::MAX` for edge
+    /// ports. Precomputed so the per-launch hot path never re-derives
+    /// coordinates.
+    neighbors: Vec<u32>,
     cycles_run: u64,
     measured_flits_ejected: u64,
+    /// Whether `step` walks the active sets (true) or scans every
+    /// component (false). Both modes produce bit-identical results.
+    active_scheduling: bool,
+    /// Routers currently holding flits (see the module docs).
+    router_active: ActiveSet,
+    /// NICs with injectable work (see the module docs).
+    nic_active: ActiveSet,
+    /// Flits currently inside routers — the incremental mirror of
+    /// "any router non-empty", kept for O(1) [`Network::has_traffic`].
+    router_flits: u64,
+    /// Messages offered but not yet fully streamed into their source
+    /// router — the incremental mirror of summing NIC backlogs, kept for
+    /// O(1) [`Network::backlog`].
+    backlog_msgs: u64,
     /// Reused per-cycle scratch buffers (hot-loop allocation avoidance).
-    scratch_step: lapses_core::StepOutputs,
-    scratch_flits: Vec<FlitDelivery>,
-    scratch_credits: Vec<CreditDelivery>,
+    scratch_flits: std::collections::VecDeque<FlitDelivery>,
+    scratch_credits: std::collections::VecDeque<CreditDelivery>,
+}
+
+/// The network's implementation of [`StepSink`]: launches and credits go
+/// straight from the router pipeline stages onto the wires — no staging
+/// buffer, no second copy.
+struct WireSink<'a> {
+    now: Cycle,
+    node: usize,
+    ports: usize,
+    queues: &'a mut DeliveryQueues,
+    link_flits: &'a mut [u64],
+    neighbors: &'a [u32],
+    nics: &'a mut [Nic],
+    nic_active: &'a mut ActiveSet,
+    router_flits: &'a mut u64,
+}
+
+impl StepSink for WireSink<'_> {
+    #[inline]
+    fn launch(&mut self, port: Port, vc: usize, flit: Flit) {
+        *self.router_flits -= 1;
+        self.link_flits[self.node * self.ports + port.index()] += 1;
+        match port.direction() {
+            None => {
+                // Ejection channel toward the local NIC.
+                self.queues.send_flit(
+                    self.now,
+                    FlitDelivery {
+                        node: NodeId(self.node as u32),
+                        port: Port::LOCAL,
+                        vc,
+                        flit,
+                    },
+                );
+            }
+            Some(dir) => {
+                let neighbor = self.neighbors[self.node * self.ports + port.index()];
+                debug_assert_ne!(neighbor, u32::MAX, "launch over a missing link");
+                self.queues.send_flit(
+                    self.now,
+                    FlitDelivery {
+                        node: NodeId(neighbor),
+                        port: Port::from(dir.opposite()),
+                        vc,
+                        flit,
+                    },
+                );
+            }
+        }
+    }
+
+    #[inline]
+    fn credit(&mut self, in_port: Port, vc: usize) {
+        match in_port.direction() {
+            None => {
+                // Injection credit: may unfreeze a credit-starved NIC.
+                self.nics[self.node].credit(vc);
+                self.nic_active.insert(self.node);
+            }
+            Some(dir) => {
+                let upstream = self.neighbors[self.node * self.ports + in_port.index()];
+                debug_assert_ne!(upstream, u32::MAX, "credit over a missing link");
+                self.queues.send_credit(
+                    self.now,
+                    CreditDelivery {
+                        node: NodeId(upstream),
+                        port: Port::from(dir.opposite()),
+                        vc,
+                    },
+                );
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for Network {
@@ -55,6 +188,7 @@ impl std::fmt::Debug for Network {
             .field("mesh", &self.mesh)
             .field("scheme", &self.program.name())
             .field("cycles_run", &self.cycles_run)
+            .field("active_scheduling", &self.active_scheduling)
             .finish_non_exhaustive()
     }
 }
@@ -96,8 +230,9 @@ impl Network {
         // Wire credits: direction ports get the neighbor's input buffer
         // depth, edge ports get zero (never routed to), the ejection port
         // is an infinite sink.
+        let direction_ports: Vec<Port> = mesh.direction_ports().collect();
         for node in mesh.nodes() {
-            for port in mesh.direction_ports().collect::<Vec<_>>() {
+            for &port in &direction_ports {
                 let dir = port.direction().expect("direction port");
                 let credits = if mesh.neighbor(node, dir).is_some() {
                     router_cfg.input_buffer_flits as u32
@@ -115,9 +250,19 @@ impl Network {
 
         let nics = mesh
             .nodes()
-            .map(|node| Nic::new(node, vcs, router_cfg.input_buffer_flits))
+            .map(|_| Nic::new(vcs, router_cfg.input_buffer_flits))
             .collect();
 
+        let node_count = mesh.node_count();
+        let mut neighbors = vec![u32::MAX; node_count * ports];
+        for node in mesh.nodes() {
+            for &port in &direction_ports {
+                let dir = port.direction().expect("direction port");
+                if let Some(n) = mesh.neighbor(node, dir) {
+                    neighbors[node.index() * ports + port.index()] = n.0;
+                }
+            }
+        }
         Network {
             routers,
             nics,
@@ -130,15 +275,21 @@ impl Network {
             program,
             lookahead,
             next_msg: 0,
+            messages: MessageStore::new(),
             latency: RunningStats::new(),
             total_latency: RunningStats::new(),
             histogram: Histogram::new(4.0, 2048),
-            link_flits: vec![0; mesh.node_count() * ports],
+            link_flits: vec![0; node_count * ports],
+            neighbors,
             cycles_run: 0,
             measured_flits_ejected: 0,
-            scratch_step: lapses_core::StepOutputs::default(),
-            scratch_flits: Vec::new(),
-            scratch_credits: Vec::new(),
+            active_scheduling: true,
+            router_active: ActiveSet::new(node_count),
+            nic_active: ActiveSet::new(node_count),
+            router_flits: 0,
+            backlog_msgs: 0,
+            scratch_flits: std::collections::VecDeque::new(),
+            scratch_credits: std::collections::VecDeque::new(),
             mesh,
         }
     }
@@ -146,6 +297,18 @@ impl Network {
     /// The topology.
     pub fn mesh(&self) -> &Mesh {
         &self.mesh
+    }
+
+    /// Switches the active-set scheduler on or off. Both modes are
+    /// bit-identical (off exists for differential testing and profiling);
+    /// the sets stay maintained either way, so toggling mid-run is safe.
+    pub fn set_active_scheduling(&mut self, enabled: bool) {
+        self.active_scheduling = enabled;
+    }
+
+    /// Whether the active-set scheduler is in use.
+    pub fn active_scheduling(&self) -> bool {
+        self.active_scheduling
     }
 
     /// Queues a message at its source NIC. Look-ahead headers get the
@@ -167,118 +330,100 @@ impl Network {
         assert_ne!(src, dest, "self-addressed message");
         let id = MessageId(self.next_msg);
         self.next_msg += 1;
-        let mut flits = Flit::message(id, src, dest, length, now, measured);
+        let rec = self.messages.alloc(MessageRecord {
+            src,
+            dest,
+            length,
+            measured,
+            created_at: now,
+            // Re-stamped when the head actually enters the router.
+            injected_at: now,
+        });
+        let mut flits = Flit::message(id, rec, dest, length);
         if self.lookahead {
             flits[0].lookahead = Some(self.program.entry(src, dest));
         }
         self.nics[src.index()].enqueue(flits);
+        self.backlog_msgs += 1;
+        self.nic_active.insert(src.index());
     }
 
-    /// Runs one cycle: routers step, link and credit arrivals are
-    /// delivered, NICs inject, and ejected tails are sampled.
+    /// Runs one cycle: active routers step, link and credit arrivals are
+    /// delivered, active NICs inject, and ejected tails are sampled.
     pub fn step(&mut self, now: Cycle) -> CycleSummary {
         let mut summary = CycleSummary::default();
-        let ports = self.mesh.ports_per_router();
 
-        // 1. Routers advance one cycle; launches and credits enter the wires.
-        let mut out = std::mem::take(&mut self.scratch_step);
-        for node in 0..self.routers.len() {
-            self.routers[node].step_into(now, &mut out);
-            summary.moved |= out.moved;
-            for launch in out.launches.drain(..) {
-                self.link_flits[node * ports + launch.port.index()] += 1;
-                let node_id = NodeId(node as u32);
-                match launch.port.direction() {
-                    None => {
-                        // Ejection channel toward the local NIC.
-                        self.queues.send_flit(
-                            now,
-                            FlitDelivery {
-                                node: node_id,
-                                port: Port::LOCAL,
-                                vc: launch.vc,
-                                flit: launch.flit,
-                            },
-                        );
-                    }
-                    Some(dir) => {
-                        let neighbor = self
-                            .mesh
-                            .neighbor(node_id, dir)
-                            .expect("launch over a missing link");
-                        self.queues.send_flit(
-                            now,
-                            FlitDelivery {
-                                node: neighbor,
-                                port: Port::from(dir.opposite()),
-                                vc: launch.vc,
-                                flit: launch.flit,
-                            },
-                        );
-                    }
+        // 1. Routers advance one cycle; launches and credits enter the
+        //    wires. No router bit is *set* during this phase (arrivals and
+        //    injections come later), so iterating a snapshot of each word
+        //    while clearing drained routers from the live set is sound.
+        if self.active_scheduling {
+            for w in 0..self.router_active.word_count() {
+                let mut word = self.router_active.word(w);
+                while word != 0 {
+                    let node = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    self.step_router(node, now, &mut summary);
                 }
             }
-            for (in_port, vc) in out.credits.drain(..) {
-                let node_id = NodeId(node as u32);
-                match in_port.direction() {
-                    None => self.nics[node].credit(vc), // injection credit
-                    Some(dir) => {
-                        let upstream = self
-                            .mesh
-                            .neighbor(node_id, dir)
-                            .expect("credit over a missing link");
-                        self.queues.send_credit(
-                            now,
-                            CreditDelivery {
-                                node: upstream,
-                                port: Port::from(dir.opposite()),
-                                vc,
-                            },
-                        );
-                    }
-                }
+        } else {
+            for node in 0..self.routers.len() {
+                self.step_router(node, now, &mut summary);
             }
         }
 
-        self.scratch_step = out;
-
-        // 2. Arrivals due this cycle.
+        // 2. Arrivals due this cycle (swapped out of the ring bucket, not
+        //    copied). Flit deliveries wake their routers.
         let mut flits = std::mem::take(&mut self.scratch_flits);
-        self.queues.drain_flits_into(now, &mut flits);
+        self.queues.swap_flits(now, &mut flits);
         for d in flits.drain(..) {
             if d.port.is_local() {
-                // Ejected into the NIC.
+                // Ejected into the NIC sink.
+                let rec = *self.messages.get(d.flit.rec);
+                if rec.measured {
+                    self.measured_flits_ejected += 1;
+                }
                 if d.flit.kind.is_tail() {
-                    let net_latency = now.duration_since(d.flit.injected_at) as f64;
-                    let total = now.duration_since(d.flit.created_at) as f64;
-                    if d.flit.measured {
+                    if rec.measured {
+                        let net_latency = now.duration_since(rec.injected_at) as f64;
+                        let total = now.duration_since(rec.created_at) as f64;
                         self.latency.record(net_latency);
                         self.total_latency.record(total);
                         self.histogram.record(net_latency);
                         summary.measured_deliveries += 1;
                     }
-                }
-                if d.flit.measured {
-                    self.measured_flits_ejected += 1;
+                    self.messages.retire(d.flit.rec);
                 }
                 summary.moved = true;
             } else {
-                self.routers[d.node.index()].accept_flit(d.port, d.vc, d.flit, now);
+                let node = d.node.index();
+                self.routers[node].accept_flit(d.port, d.vc, d.flit, now);
+                self.router_flits += 1;
+                self.router_active.insert(node);
             }
         }
         self.scratch_flits = flits;
         let mut credits = std::mem::take(&mut self.scratch_credits);
-        self.queues.drain_credits_into(now, &mut credits);
+        self.queues.swap_credits(now, &mut credits);
         for c in credits.drain(..) {
             self.routers[c.node.index()].accept_credit(c.port, c.vc);
         }
         self.scratch_credits = credits;
 
-        // 3. NICs inject (at most one flit per node per cycle).
-        for node in 0..self.nics.len() {
-            if let Some((vc, flit)) = self.nics[node].inject(now) {
-                self.routers[node].accept_flit(Port::LOCAL, vc, flit, now);
-                summary.moved = true;
+        // 3. NICs inject (at most one flit per node per cycle). NIC bits
+        //    were set by offers and credit returns before this point.
+        if self.active_scheduling {
+            for w in 0..self.nic_active.word_count() {
+                let mut word = self.nic_active.word(w);
+                while word != 0 {
+                    let node = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    self.inject_from_nic(node, now, &mut summary);
+                }
+            }
+        } else {
+            for node in 0..self.nics.len() {
+                self.inject_from_nic(node, now, &mut summary);
             }
         }
 
@@ -286,16 +431,74 @@ impl Network {
         summary
     }
 
+    /// Steps one router, streaming its launches and credits onto the
+    /// wires as the stages produce them ([`WireSink`]). Clears the
+    /// router's active bit once it holds no flits.
+    fn step_router(&mut self, node: usize, now: Cycle, summary: &mut CycleSummary) {
+        let ports = self.mesh.ports_per_router();
+        let router = &mut self.routers[node];
+        let mut sink = WireSink {
+            now,
+            node,
+            ports,
+            queues: &mut self.queues,
+            link_flits: &mut self.link_flits,
+            neighbors: &self.neighbors,
+            nics: &mut self.nics,
+            nic_active: &mut self.nic_active,
+            router_flits: &mut self.router_flits,
+        };
+        summary.moved |= router.step_with(now, &mut sink);
+        if router.is_empty() {
+            self.router_active.remove(node);
+        }
+    }
+
+    /// Polls one NIC for an injection, wakes the router on delivery, and
+    /// refreshes the NIC's active bit.
+    fn inject_from_nic(&mut self, node: usize, now: Cycle, summary: &mut CycleSummary) {
+        if let Some((vc, flit)) = self.nics[node].inject() {
+            if flit.kind.is_head() {
+                // Network latency starts when the head enters the router.
+                self.messages.get_mut(flit.rec).injected_at = now;
+            }
+            if flit.kind.is_tail() {
+                self.backlog_msgs -= 1;
+            }
+            self.routers[node].accept_flit(Port::LOCAL, vc, flit, now);
+            self.router_flits += 1;
+            self.router_active.insert(node);
+            summary.moved = true;
+        }
+        if !self.nics[node].has_injectable() {
+            self.nic_active.remove(node);
+        }
+    }
+
     /// Messages waiting or streaming at the NICs (the watchdog's backlog).
+    /// O(1): maintained incrementally by offers and tail injections.
     pub fn backlog(&self) -> u64 {
-        self.nics.iter().map(|n| n.backlog() as u64).sum()
+        self.backlog_msgs
     }
 
     /// Whether any flit is anywhere in the system (for stall detection).
+    /// O(1): wires, router occupancy and NIC backlog are all counters.
     pub fn has_traffic(&self) -> bool {
+        self.queues.in_flight() > 0 || self.router_flits > 0 || self.backlog_msgs > 0
+    }
+
+    /// The O(n) ground truth behind [`Network::has_traffic`], used by
+    /// [`Network::assert_quiescent`] and the counter-invariant tests.
+    fn scan_traffic(&self) -> bool {
         self.queues.in_flight() > 0
             || self.nics.iter().any(|n| !n.is_idle())
             || self.routers.iter().any(|r| !r.is_empty())
+    }
+
+    /// The O(n) ground truth behind [`Network::backlog`].
+    #[cfg(test)]
+    fn scan_backlog(&self) -> u64 {
+        self.nics.iter().map(|n| n.backlog() as u64).sum()
     }
 
     /// Network-latency statistics of measured messages.
@@ -339,8 +542,9 @@ impl Network {
     }
 
     /// Asserts the network is fully quiescent and flow control balanced:
-    /// no flits anywhere, every NIC idle, and every wired output VC's
-    /// credit counter restored to the downstream buffer depth.
+    /// no flits anywhere, every NIC idle, every wired output VC's credit
+    /// counter restored to the downstream buffer depth, the incremental
+    /// activity counters back at zero, and no message record leaked.
     ///
     /// Catching a credit leak here means some flit consumed buffer space
     /// that was never returned — the classic wormhole flow-control bug.
@@ -350,7 +554,10 @@ impl Network {
     /// Panics (with a description of the leaking channel) if any of those
     /// conditions is violated. Intended for tests and drained simulations.
     pub fn assert_quiescent(&self) {
-        assert!(!self.has_traffic(), "network still holds traffic");
+        assert!(!self.scan_traffic(), "network still holds traffic");
+        assert_eq!(self.router_flits, 0, "router flit counter drifted");
+        assert_eq!(self.backlog_msgs, 0, "backlog counter drifted");
+        assert_eq!(self.messages.live(), 0, "message records leaked");
         let depth = self.routers[0].config().input_buffer_flits as u32;
         for node in self.mesh.nodes() {
             let router = &self.routers[node.index()];
@@ -462,6 +669,7 @@ mod tests {
         run_until_delivered(&mut net, n, 20_000);
         assert_eq!(net.latency().count(), n as u64);
         assert!(!net.has_traffic());
+        net.assert_quiescent();
         // Flits switched at least once per hop.
         assert!(net.router_stats().flits_switched > 0);
     }
@@ -487,6 +695,76 @@ mod tests {
             net.latency().mean()
         };
         assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn scheduler_matches_always_step_cycle_for_cycle() {
+        // The core bit-identity claim, at the finest granularity: the same
+        // traffic stepped with the active-set scheduler and with the full
+        // scan must produce identical per-cycle summaries and statistics.
+        let build = |scheduling: bool| {
+            let mut net = small_net(RouterConfig::paper_adaptive());
+            net.set_active_scheduling(scheduling);
+            let mesh = net.mesh().clone();
+            for src in mesh.nodes() {
+                let dest = NodeId((src.0 * 11 + 3) % 16);
+                if dest != src {
+                    net.offer_message(src, dest, 8, Cycle::ZERO, true);
+                }
+            }
+            net
+        };
+        let mut on = build(true);
+        let mut off = build(false);
+        for t in 0..3_000 {
+            let a = on.step(Cycle::new(t));
+            let b = off.step(Cycle::new(t));
+            assert_eq!(a.measured_deliveries, b.measured_deliveries, "cycle {t}");
+            assert_eq!(a.moved, b.moved, "cycle {t}");
+            assert_eq!(on.has_traffic(), off.has_traffic(), "cycle {t}");
+        }
+        assert!(!on.has_traffic(), "traffic should have drained");
+        assert_eq!(on.latency().mean(), off.latency().mean());
+        assert_eq!(on.latency().count(), off.latency().count());
+        assert_eq!(on.router_stats(), off.router_stats());
+        on.assert_quiescent();
+        off.assert_quiescent();
+    }
+
+    #[test]
+    fn incremental_counters_match_scans_mid_flight() {
+        let mut net = small_net(RouterConfig::paper_adaptive());
+        let mesh = net.mesh().clone();
+        for src in mesh.nodes() {
+            let dest = NodeId((src.0 + 7) % 16);
+            if dest != src {
+                net.offer_message(src, dest, 12, Cycle::ZERO, true);
+            }
+        }
+        let mut saw_traffic = false;
+        for t in 0..5_000 {
+            net.step(Cycle::new(t));
+            assert_eq!(net.backlog(), net.scan_backlog(), "cycle {t}");
+            assert_eq!(net.has_traffic(), net.scan_traffic(), "cycle {t}");
+            saw_traffic |= net.has_traffic();
+            if !net.has_traffic() {
+                break;
+            }
+        }
+        assert!(saw_traffic, "test never observed in-flight traffic");
+        net.assert_quiescent();
+    }
+
+    #[test]
+    fn idle_network_steps_do_no_work() {
+        let mut net = small_net(RouterConfig::paper_adaptive());
+        for t in 0..100 {
+            let summary = net.step(Cycle::new(t));
+            assert!(!summary.moved);
+            assert_eq!(summary.measured_deliveries, 0);
+        }
+        assert!(!net.has_traffic());
+        net.assert_quiescent();
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The activity-tracked scheduler must be invisible in the results: a
+//! sweep over all four paper traffic patterns, several loads, and both
+//! pipelines (PROUD and LA-PROUD) has to produce a **bit-identical**
+//! `SweepReport` with the active-set scheduler forced on vs forced off.
+//!
+//! This is the acceptance test for the scheduler's core invariant (see
+//! the `lapses_network::network` module docs): skipped components are
+//! exactly the ones whose step would be a no-op, so every RNG draw,
+//! arbitration decision and latency sample is unchanged.
+
+use lapses_network::{Pattern, SimConfig, SweepGrid, SweepReport, SweepRunner};
+
+fn grid(active_scheduling: bool) -> SweepGrid {
+    let mut grid = SweepGrid::new();
+    for lookahead in [false, true] {
+        let base = SimConfig::paper_adaptive(8, 8)
+            .with_lookahead(lookahead)
+            .with_active_scheduling(active_scheduling)
+            .with_message_counts(100, 700);
+        let tag = if lookahead { "la" } else { "proud" };
+        for pattern in Pattern::PAPER_FOUR {
+            grid = grid.series(
+                format!("{tag}/{}", pattern.name()),
+                base.clone().with_pattern(pattern),
+                &[0.1, 0.25],
+            );
+        }
+    }
+    grid
+}
+
+fn run(active_scheduling: bool) -> SweepReport {
+    SweepRunner::new()
+        .with_threads(2)
+        .with_master_seed(424242)
+        .run(&grid(active_scheduling))
+}
+
+#[test]
+fn active_set_scheduler_is_bit_identical_to_always_step() {
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on, off, "scheduler changed simulated behavior");
+
+    // The comparison must not be vacuous: both pipelines, all four
+    // patterns, every point unsaturated with real latency samples.
+    assert_eq!(on.series().len(), 8);
+    for series in on.series() {
+        assert_eq!(series.points.len(), 2, "{} truncated", series.label);
+        for (load, r) in &series.points {
+            assert!(!r.saturated, "{} saturated at {load}", series.label);
+            assert!(r.messages > 0 && r.avg_latency > 0.0);
+            assert!(r.cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn scheduler_equivalence_holds_under_saturation() {
+    // Saturated points exercise the watchdog/backlog paths (the O(1)
+    // counters) — the cut-off decision must not shift by a cycle.
+    let run = |scheduling: bool| {
+        SimConfig::paper_adaptive(4, 4)
+            .with_message_counts(200, 1_500)
+            .with_active_scheduling(scheduling)
+            .with_load(3.0)
+            .with_seed(77)
+            .run()
+    };
+    let on = run(true);
+    let off = run(false);
+    assert!(on.saturated, "overload point should saturate");
+    assert_eq!(on, off, "saturation cut-off shifted");
+}

@@ -76,6 +76,18 @@ impl Generator {
         self.generated
     }
 
+    /// First cycle at which polling could produce a message: the ceiling
+    /// of the pending arrival timestamp, or `0` when the first gap has not
+    /// been drawn yet. Polling strictly before this cycle is a no-op that
+    /// leaves the generator's state (including its RNG) untouched, so a
+    /// scheduler may skip those polls without perturbing the run.
+    pub fn next_due_cycle(&self) -> u64 {
+        match self.next_arrival {
+            Some(t) => t.max(0.0).ceil() as u64,
+            None => 0,
+        }
+    }
+
     /// Returns every message whose arrival time is at or before `now`.
     pub fn poll(
         &mut self,

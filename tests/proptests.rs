@@ -1,6 +1,6 @@
 //! Property-based tests over the core invariants of the reproduction.
 
-use lapses::core::flit::{Flit, MessageId};
+use lapses::core::flit::{Flit, MessageId, MsgRef};
 use lapses::core::tables::{EconomicalTable, FullTable, IntervalTable, TableScheme};
 use lapses::prelude::*;
 use lapses::routing::{TurnModel, TurnModelKind};
@@ -163,9 +163,7 @@ proptest! {
     /// Message construction: exactly one head, one tail, ordered seq.
     #[test]
     fn message_structure(len in 1u32..200) {
-        let flits = Flit::message(
-            MessageId(1), NodeId(0), NodeId(1), len, Cycle::ZERO, true,
-        );
+        let flits = Flit::message(MessageId(1), MsgRef(0), NodeId(1), len);
         prop_assert_eq!(flits.len() as u32, len);
         let heads = flits.iter().filter(|f| f.kind.is_head()).count();
         let tails = flits.iter().filter(|f| f.kind.is_tail()).count();
