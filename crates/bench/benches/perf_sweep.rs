@@ -2,9 +2,12 @@
 //!
 //! Runs a **fixed** reference sweep (16×16 mesh, LA-ADAPT router, the
 //! paper's four traffic patterns at 0.2 normalized load) on a single
-//! worker thread, and writes `bench_results/BENCH_sweep.json` with wall
+//! worker thread, and writes `BENCH_sweep.json` to the workspace-root
+//! `bench_results/` ([`lapses_bench::bench_results_dir`]) with wall
 //! time, simulated cycles/sec and delivered flits/sec, so the performance
-//! trajectory of the cycle loop is tracked from PR to PR.
+//! trajectory of the cycle loop is tracked from PR to PR. CI's perf-smoke
+//! job diffs this file against the committed `BENCH_baseline.json` (see
+//! the `perf_guard` binary).
 //!
 //! The workload is deliberately pinned — same mesh, seeds, message counts
 //! and thread count — so two checkouts produce comparable numbers, and the
@@ -88,8 +91,8 @@ fn main() {
     println!("  {cycles_per_sec:.0} simulated cycles/sec");
     println!("  {flits_per_sec:.0} delivered flits/sec");
 
-    let dir = std::path::Path::new("bench_results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
+    let dir = lapses_bench::bench_results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }

@@ -1,0 +1,116 @@
+//! CI perf-regression guard for the reference sweep.
+//!
+//! Compares the fresh `bench_results/BENCH_sweep.json` (written by the
+//! `perf_sweep` bench) against the committed `bench_results/
+//! BENCH_baseline.json` and exits non-zero when either
+//!
+//! * **semantics drifted**: `simulated_cycles` or `delivered_messages`
+//!   differ from the baseline. The reference workload is pinned, so these
+//!   are bit-stable — a perf PR that changes them changed simulated
+//!   behavior, which must be an explicit baseline update, never an
+//!   accident; or
+//! * **throughput regressed**: `cycles_per_second` fell more than the
+//!   tolerance below the baseline. The tolerance defaults to 20% and is
+//!   overridable via `LAPSES_PERF_TOLERANCE` (a fraction, e.g. `0.35`) —
+//!   shared CI runners are noisy, so CI pins a looser value than the
+//!   default while still catching order-of-magnitude regressions.
+//!
+//! A missing fresh file is an error (the guard only makes sense right
+//! after `cargo bench -p lapses-bench --bench perf_sweep`); a missing
+//! baseline is a warning so brand-new checkouts and intentional baseline
+//! removals do not hard-fail.
+
+use std::process::ExitCode;
+
+/// Extracts the numeric value of `"key": <number>` from a flat JSON text.
+/// The bench files are machine-written with a fixed shape, so a
+/// dependency-free scan beats dragging a JSON parser into the workspace.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let dir = lapses_bench::bench_results_dir();
+    let fresh_path = dir.join("BENCH_sweep.json");
+    let baseline_path = dir.join("BENCH_baseline.json");
+
+    let fresh = match std::fs::read_to_string(&fresh_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "perf_guard: cannot read {} ({e}) — run \
+                 `cargo bench -p lapses-bench --bench perf_sweep` first",
+                fresh_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "perf_guard: no baseline at {} ({e}) — skipping the check; \
+                 commit one to enable the regression guard",
+                baseline_path.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    let field = |text: &str, file: &str, key: &str| {
+        json_number(text, key).unwrap_or_else(|| {
+            eprintln!("perf_guard: {file} has no numeric field {key:?}");
+            std::process::exit(1);
+        })
+    };
+
+    // Bit-identity first: the pinned workload must simulate identically.
+    let mut ok = true;
+    for key in ["simulated_cycles", "delivered_messages", "delivered_flits"] {
+        let got = field(&fresh, "BENCH_sweep.json", key);
+        let want = field(&baseline, "BENCH_baseline.json", key);
+        if got != want {
+            eprintln!(
+                "perf_guard: {key} drifted from the baseline: {got} != {want} — \
+                 the reference sweep's simulated behavior changed; if intended, \
+                 update bench_results/BENCH_baseline.json in the same PR"
+            );
+            ok = false;
+        }
+    }
+
+    // Then throughput.
+    let tolerance: f64 = std::env::var("LAPSES_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let fresh_cps = field(&fresh, "BENCH_sweep.json", "cycles_per_second");
+    let base_cps = field(&baseline, "BENCH_baseline.json", "cycles_per_second");
+    let floor = base_cps * (1.0 - tolerance);
+    let ratio = fresh_cps / base_cps;
+    println!(
+        "perf_guard: {fresh_cps:.0} cycles/s vs baseline {base_cps:.0} \
+         ({ratio:.2}x, floor {floor:.0} at tolerance {tolerance})"
+    );
+    if fresh_cps < floor {
+        eprintln!(
+            "perf_guard: throughput regressed more than {:.0}% below the \
+             baseline; raise LAPSES_PERF_TOLERANCE only for known-noisy \
+             runners, otherwise find the regression",
+            tolerance * 100.0
+        );
+        ok = false;
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -2,13 +2,32 @@
 //!
 //! Every bench target regenerates one table or figure of the paper's
 //! evaluation and prints it in the paper's layout (plus a CSV copy under
-//! `bench_results/`). Message counts default to a fast profile; set
+//! the workspace-root `bench_results/` — see [`bench_results_dir`]).
+//! Message counts default to a fast profile; set
 //! `LAPSES_WARMUP_MSGS=10000 LAPSES_MEASURE_MSGS=400000` to run the paper's
 //! full protocol.
 
 use lapses_network::{SimConfig, SimResult, SweepReport};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// The canonical output directory for every bench artifact:
+/// `bench_results/` at the **workspace root**, regardless of the working
+/// directory cargo gives the bench executable (which is the package dir,
+/// `crates/bench/` — writing relative paths from there is how artifacts
+/// historically ended up split between two locations). Overridable with
+/// the `LAPSES_BENCH_DIR` environment variable for sandboxed runs.
+pub fn bench_results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("LAPSES_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    // crates/bench -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .join("bench_results")
+}
 
 /// The paper's per-pattern load axes (Figs. 5 and 6 x-ranges). Sweeps stop
 /// early at saturation, so the upper entries are upper bounds.
@@ -106,10 +125,11 @@ impl Table {
         out
     }
 
-    /// Writes the table as CSV to `bench_results/<name>.csv` (best effort —
-    /// failures are reported but not fatal so benches still print).
+    /// Writes the table as CSV to `<workspace root>/bench_results/
+    /// <name>.csv` (best effort — failures are reported but not fatal so
+    /// benches still print).
     pub fn save_csv(&self, name: &str) {
-        let dir = PathBuf::from("bench_results");
+        let dir = bench_results_dir();
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("warning: cannot create {}: {e}", dir.display());
             return;
@@ -159,6 +179,18 @@ mod tests {
     fn pct_formats_sign() {
         assert_eq!(pct_over(110.0, 100.0), "+10.0%");
         assert_eq!(pct_over(90.0, 100.0), "-10.0%");
+    }
+
+    #[test]
+    fn bench_results_dir_is_workspace_rooted() {
+        let dir = bench_results_dir();
+        assert!(dir.ends_with("bench_results"));
+        let root = dir.parent().unwrap();
+        assert!(
+            root.join("Cargo.toml").exists() && root.join("crates").is_dir(),
+            "{} is not the workspace root",
+            root.display()
+        );
     }
 
     #[test]

@@ -1,95 +1,144 @@
 //! Round-robin arbitration.
 
-/// A rotating-priority arbiter over `n` requesters.
+/// Rotating-priority grant over `n` requesters with the priority pointer
+/// stored by the caller.
 ///
-/// Grants the first eligible requester at or after the pointer and advances
-/// the pointer past the winner, the classic starvation-free round-robin
-/// used for the crossbar and VC-multiplexing stages.
-#[derive(Debug, Clone)]
-pub(crate) struct RoundRobin {
-    next: usize,
+/// Grants the first eligible requester at or after the pointer and
+/// advances the pointer past the winner — the classic starvation-free
+/// round-robin used for the crossbar, VC-allocation and VC-multiplexing
+/// stages. The pointer is one caller-owned byte instead of a
+/// heap-allocated arbiter object: the router keeps all of its per-port
+/// arbiters in small inline arrays, so the per-cycle hot path never
+/// chases a separate allocation just to read a rotation pointer.
+///
+/// The rotation wraps with a compare instead of a modulo: this runs
+/// several times per busy router per cycle, and `n` is a runtime value
+/// the compiler cannot strength-reduce a division for.
+///
+/// `n` must be at most 256 and `*next < n`.
+///
+/// The router's arbiters all use the O(1) bitmask form below; this
+/// closure form remains as the executable specification the exhaustive
+/// equivalence test checks the mask form against.
+#[cfg_attr(not(test), allow(dead_code))]
+#[inline]
+pub(crate) fn rr_grant(
+    next: &mut u8,
     n: usize,
+    mut eligible: impl FnMut(usize) -> bool,
+) -> Option<usize> {
+    debug_assert!((*next as usize) < n && n <= 256);
+    let mut i = *next as usize;
+    for _ in 0..n {
+        if eligible(i) {
+            let mut after = i + 1;
+            if after == n {
+                after = 0;
+            }
+            *next = after as u8;
+            return Some(i);
+        }
+        i += 1;
+        if i == n {
+            i = 0;
+        }
+    }
+    None
 }
 
-impl RoundRobin {
-    /// Creates an arbiter over `n` requesters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
-    pub fn new(n: usize) -> RoundRobin {
-        assert!(n > 0, "arbiter needs at least one requester");
-        RoundRobin { next: 0, n }
+/// Bitmask form of [`rr_grant`]: grants the first set bit of `mask` at or
+/// after the pointer (wrapping to the lowest set bit) and advances the
+/// pointer past the winner. Grant-for-grant identical to calling
+/// [`rr_grant`] with `eligible(i) == (mask >> i) & 1`, but O(1): the
+/// caller maintains eligibility as a bitmask instead of answering a
+/// closure per candidate.
+///
+/// Bits at or above `n` must be clear; `*next < n <= 64`.
+#[inline]
+pub(crate) fn rr_grant_mask(next: &mut u8, n: usize, mask: u64) -> Option<usize> {
+    debug_assert!((*next as usize) < n && n <= 64);
+    debug_assert!(n == 64 || mask >> n == 0, "mask has bits past n");
+    if mask == 0 {
+        return None;
     }
-
-    /// Grants the first index (in rotating order) for which `eligible`
-    /// returns true, advancing the priority pointer past it.
-    ///
-    /// The rotation wraps with a compare instead of a modulo: this runs
-    /// several times per busy router per cycle, and `n` is a runtime value
-    /// the compiler cannot strength-reduce a division for.
-    pub fn grant(&mut self, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
-        debug_assert!(self.next < self.n);
-        let mut i = self.next;
-        for _ in 0..self.n {
-            if eligible(i) {
-                self.next = i + 1;
-                if self.next == self.n {
-                    self.next = 0;
-                }
-                return Some(i);
-            }
-            i += 1;
-            if i == self.n {
-                i = 0;
-            }
-        }
-        None
+    let at_or_after = mask & (u64::MAX << *next);
+    let i = if at_or_after != 0 {
+        at_or_after.trailing_zeros() as usize
+    } else {
+        mask.trailing_zeros() as usize
+    };
+    let mut after = i + 1;
+    if after == n {
+        after = 0;
     }
+    *next = after as u8;
+    Some(i)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The bitmask grant must match the closure grant on every (pointer,
+    /// mask) pair — the masked arbiters in the router rely on it.
+    #[test]
+    fn mask_grant_matches_closure_grant_exhaustively() {
+        for n in 1..=8usize {
+            for mask in 0u64..(1 << n) {
+                for start in 0..n {
+                    let mut a = start as u8;
+                    let mut b = start as u8;
+                    let by_mask = rr_grant_mask(&mut a, n, mask);
+                    let by_closure = rr_grant(&mut b, n, |i| mask & (1 << i) != 0);
+                    assert_eq!(by_mask, by_closure, "n={n} mask={mask:b} start={start}");
+                    assert_eq!(a, b, "pointers diverged");
+                }
+            }
+        }
+    }
+
     #[test]
     fn grants_rotate_among_contenders() {
-        let mut rr = RoundRobin::new(3);
+        let mut next = 0u8;
         // Everyone always requests: grants must rotate 0,1,2,0,...
-        let grants: Vec<usize> = (0..6).map(|_| rr.grant(|_| true).unwrap()).collect();
+        let grants: Vec<usize> = (0..6)
+            .map(|_| rr_grant(&mut next, 3, |_| true).unwrap())
+            .collect();
         assert_eq!(grants, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]
     fn skips_ineligible_requesters() {
-        let mut rr = RoundRobin::new(4);
-        assert_eq!(rr.grant(|i| i == 2), Some(2));
+        let mut next = 0u8;
+        assert_eq!(rr_grant(&mut next, 4, |i| i == 2), Some(2));
         // Pointer is now past 2; with everyone eligible, 3 goes first.
-        assert_eq!(rr.grant(|_| true), Some(3));
+        assert_eq!(rr_grant(&mut next, 4, |_| true), Some(3));
     }
 
     #[test]
     fn no_eligible_requester_yields_none() {
-        let mut rr = RoundRobin::new(2);
-        assert_eq!(rr.grant(|_| false), None);
+        let mut next = 0u8;
+        assert_eq!(rr_grant(&mut next, 2, |_| false), None);
         // Pointer unchanged: next grant starts at 0 again.
-        assert_eq!(rr.grant(|_| true), Some(0));
+        assert_eq!(rr_grant(&mut next, 2, |_| true), Some(0));
     }
 
     #[test]
     fn no_starvation_under_persistent_load() {
-        let mut rr = RoundRobin::new(5);
+        let mut next = 0u8;
         let mut counts = [0u32; 5];
         for _ in 0..100 {
-            let g = rr.grant(|_| true).unwrap();
+            let g = rr_grant(&mut next, 5, |_| true).unwrap();
             counts[g] += 1;
         }
         assert!(counts.iter().all(|&c| c == 20));
     }
 
     #[test]
-    #[should_panic(expected = "at least one requester")]
-    fn zero_requesters_rejected() {
-        let _ = RoundRobin::new(0);
+    fn wrap_from_the_last_requester() {
+        let mut next = 0u8;
+        // Winning the last index wraps the pointer back to zero.
+        assert_eq!(rr_grant(&mut next, 3, |i| i == 2), Some(2));
+        assert_eq!(next, 0);
     }
 }

@@ -18,6 +18,27 @@
 //! flag) lives in a single per-message record owned by the network layer
 //! and reached through the flit's [`MsgRef`] handle, so body and tail
 //! flits never drag bookkeeping bytes through the buffers.
+//!
+//! # Structure-of-arrays buffering
+//!
+//! On the wire a flit travels as one [`Flit`] value, but *inside a
+//! router* the buffers hold it split in two ([`Flit::split`] /
+//! [`Flit::assemble`]):
+//!
+//! * the **hot** half is just the [`FlitKind`] — the one field every
+//!   pipeline stage branches on (is this a head? a tail?). The router
+//!   keeps these in a dense one-byte-per-slot array, so the per-cycle
+//!   stage walk reads 1 byte per occupancy check instead of dragging the
+//!   whole 32-byte flit through the cache;
+//! * the **cold** half ([`ColdFlit`]) carries everything else — message
+//!   identity, sequence number, destination and the head's look-ahead
+//!   entry — and lives in a parallel side array that only head-flit
+//!   decoding (routing reads `dest`/`lookahead`) and launch reassembly
+//!   touch.
+//!
+//! The split is lossless: `assemble(split(f)) == f`, enforced by a
+//! round-trip test below, which is what lets the router arenas change
+//! layout without changing a single simulated bit.
 
 use crate::tables::RouteEntry;
 use lapses_topology::NodeId;
@@ -94,7 +115,55 @@ pub struct Flit {
     pub lookahead: Option<RouteEntry>,
 }
 
+/// The cold half of a flit in a structure-of-arrays buffer: every field
+/// except the [`FlitKind`]. Read by head-flit handling (routing needs
+/// `dest` and `lookahead`) and when a launch reassembles the full
+/// [`Flit`] for the wire; never touched by the body/tail fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColdFlit {
+    /// Message this flit belongs to.
+    pub msg: MessageId,
+    /// Handle to the per-message record.
+    pub rec: MsgRef,
+    /// Destination node of the message.
+    pub dest: NodeId,
+    /// Flit index within the message (head = 0).
+    pub seq: u32,
+    /// Look-ahead routing information (heads in LA-PROUD only).
+    pub lookahead: Option<RouteEntry>,
+}
+
 impl Flit {
+    /// Splits a flit into its hot ([`FlitKind`]) and cold halves for
+    /// structure-of-arrays storage.
+    #[inline]
+    pub fn split(self) -> (FlitKind, ColdFlit) {
+        (
+            self.kind,
+            ColdFlit {
+                msg: self.msg,
+                rec: self.rec,
+                dest: self.dest,
+                seq: self.seq,
+                lookahead: self.lookahead,
+            },
+        )
+    }
+
+    /// Reassembles a flit from its hot and cold halves (inverse of
+    /// [`Flit::split`]).
+    #[inline]
+    pub fn assemble(kind: FlitKind, cold: ColdFlit) -> Flit {
+        Flit {
+            msg: cold.msg,
+            rec: cold.rec,
+            dest: cold.dest,
+            seq: cold.seq,
+            kind,
+            lookahead: cold.lookahead,
+        }
+    }
+
     /// Builds the flits of a message, in injection order.
     ///
     /// `rec` is the per-message record handle the network layer allocated
@@ -181,6 +250,17 @@ mod tests {
             "Flit grew to {} bytes — keep bookkeeping in the message record",
             std::mem::size_of::<Flit>()
         );
+    }
+
+    #[test]
+    fn split_assemble_round_trips() {
+        use crate::tables::RouteEntry;
+        let mut flits = Flit::message(MessageId(3), MsgRef(9), NodeId(6), 3);
+        flits[0].lookahead = Some(RouteEntry::local());
+        for f in flits {
+            let (kind, cold) = f.split();
+            assert_eq!(Flit::assemble(kind, cold), f);
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod tables;
 mod arbiter;
 
 pub use config::{PipelineModel, RouterConfig};
-pub use flit::{Flit, FlitKind, MessageId, MsgRef};
+pub use flit::{ColdFlit, Flit, FlitKind, MessageId, MsgRef};
 pub use psh::PathSelection;
 pub use router::{Router, StepOutputs, StepSink};
 pub use tables::{RouteEntry, RouterTable, TableScheme};

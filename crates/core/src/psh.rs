@@ -133,22 +133,30 @@ pub struct PortStatus {
 #[derive(Debug, Clone)]
 pub struct PathSelector {
     kind: PathSelection,
-    usage: Vec<u64>,
-    last_used: Vec<u64>,
+    // Inline per-port counters (not `Vec`s): `note_port_used` runs once
+    // per switched flit, and a router's whole selector state staying
+    // inside its own struct keeps that touch off the heap.
+    usage: [u64; MAX_SELECTOR_PORTS],
+    last_used: [u64; MAX_SELECTOR_PORTS],
 }
+
+/// Largest per-router port count the selector tracks (local + 2 per
+/// dimension).
+const MAX_SELECTOR_PORTS: usize = lapses_topology::MAX_DIMS * 2 + 1;
 
 impl PathSelector {
     /// Creates a selector for a router with `ports` ports.
     ///
     /// # Panics
     ///
-    /// Panics if `ports` is zero.
+    /// Panics if `ports` is zero or exceeds the per-router port budget.
     pub fn new(kind: PathSelection, ports: usize) -> PathSelector {
         assert!(ports > 0, "router needs at least one port");
+        assert!(ports <= MAX_SELECTOR_PORTS, "too many ports");
         PathSelector {
             kind,
-            usage: vec![0; ports],
-            last_used: vec![0; ports],
+            usage: [0; MAX_SELECTOR_PORTS],
+            last_used: [0; MAX_SELECTOR_PORTS],
         }
     }
 

@@ -28,10 +28,57 @@
 //! slot of the downstream input buffer; popping a flit from an input buffer
 //! returns a credit upstream (with the link's one-cycle delay, handled by
 //! the network layer).
+//!
+//! # The SoA flit arenas and the slot lifecycle
+//!
+//! All flit storage lives in four contiguous **structure-of-arrays
+//! arenas**: per buffer class (input, output staging) one dense
+//! one-byte-per-slot array of [`FlitKind`]s — the hot half every stage
+//! branches on — and one parallel side array of [`ColdFlit`]s holding the
+//! fields only head-flit decoding and launch reassembly read (see
+//! [`crate::flit`]). Each (port, VC) owns the fixed arena segment
+//! `flat_index * cap .. (flat_index + 1) * cap`, used as a ring whose
+//! cursor lives in the VC's [`InputVc`]/[`OutputVc`] header; cursors wrap
+//! with a compare instead of a modulo so the hot path never divides.
+//!
+//! A slot's lifecycle per hop: a flit lands in the input ring either via
+//! [`Router::accept_flit`] (split and written at the tail on arrival —
+//! the NIC injection and reference-wire path) or via the network's
+//! zero-copy wire, where the upstream launch pre-writes the payload into
+//! the exact slot it will occupy ([`Router::reserve_flit`]) and the
+//! link-delay-later arrival merely flips it visible
+//! ([`Router::commit_flit`]) — both are the **SY** stage. The **XB**
+//! winner copies the two halves straight from the input ring head to the
+//! staging ring tail — the full [`Flit`] is never reassembled mid-router
+//! — and frees the input slot (returning a credit upstream); the **VM**
+//! grant pops the staging head and reassembles the wire flit for the
+//! link (or for the next hop's reservation). Routing (**TL**/**SA**)
+//! reads only the ring head's kind byte plus, for heads, the cold
+//! `dest`/`lookahead` fields.
+//!
+//! # Fused vs. staged stepping
+//!
+//! [`Router::step_with`] has two decision-for-decision identical
+//! implementations, selected by [`RouterConfig::fused_pipeline`]:
+//!
+//! * the **fused** walk (default) runs the whole cycle in one pass
+//!   structure — occupied output ports once (VM), occupied input ports
+//!   once (XB proposals, then grants), then **one** combined walk over
+//!   the occupied input VCs that handles both SA (slots in `Select`) and
+//!   TL decode/promote (slots in `Idle`) — carrying stage state in
+//!   registers instead of re-walking the occupancy masks per stage. A VC
+//!   slot is in exactly one routing state, so merging the SA and TL
+//!   passes visits each occupied slot once per cycle without changing
+//!   any decision.
+//! * the **staged** walk is the reference implementation: each pipeline
+//!   stage is a separate pass in reverse pipeline order (VM, XB, SA, TL),
+//!   exactly the pre-fusion structure. It exists for differential testing
+//!   (the `scheduler_equivalence` suite pins fused ≡ staged) and
+//!   profiling.
 
-use crate::arbiter::RoundRobin;
+use crate::arbiter::rr_grant_mask;
 use crate::config::RouterConfig;
-use crate::flit::Flit;
+use crate::flit::{ColdFlit, Flit, FlitKind};
 use crate::psh::{PathSelector, PortStatus};
 use crate::tables::{RouteEntry, RouterTable};
 use lapses_sim::{Cycle, SimRng};
@@ -41,14 +88,15 @@ use lapses_topology::{NodeId, Port};
 pub const INFINITE_CREDITS: u32 = u32::MAX;
 
 /// Routing state of one input virtual channel.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum VcState {
     /// No message being routed (buffer may still hold a queued head).
     Idle,
     /// Header decoded, candidates known; waiting to win selection +
-    /// VC allocation. `ready_at` gates the first allocation attempt on the
-    /// table-lookup latency (multi-cycle lookups for large table RAMs).
-    Select { entry: RouteEntry, ready_at: u64 },
+    /// VC allocation. The VC's `ready_at` gates the first allocation
+    /// attempt on the table-lookup latency (multi-cycle lookups for large
+    /// table RAMs).
+    Select { entry: RouteEntry },
     /// Path allocated; flits stream through the crossbar.
     Active { out_port: Port, out_vc: u8 },
 }
@@ -56,22 +104,42 @@ enum VcState {
 /// Largest number of ports a router can have (local + 2 per dimension).
 const MAX_PORTS: usize = lapses_topology::MAX_DIMS * 2 + 1;
 
+/// Largest number of (port, VC) slots a router can have — also the
+/// occupancy-mask width.
+const MAX_SLOTS: usize = 64;
+
 /// Per-VC input state. The flit storage itself lives in the router's
-/// contiguous input arena; this header only carries the ring cursor.
-#[derive(Debug)]
+/// SoA input arenas; this header only carries the ring cursor and the
+/// routing state — 24 packed bytes, so one cache line covers a port.
+#[derive(Debug, Clone, Copy)]
 struct InputVc {
     state: VcState,
-    /// Earliest cycle the PROUD table-lookup stage may process a queued
-    /// head (blocks same-cycle lookup after the previous tail departs).
-    tl_ready_at: u64,
+    /// One time gate serving two disjoint states. `Idle`: earliest cycle
+    /// the PROUD table-lookup stage may process a queued head (blocks
+    /// same-cycle lookup after the previous tail departs). `Select`: the
+    /// cycle the in-flight table lookup completes and allocation may
+    /// first be attempted.
+    ready_at: u64,
     /// Ring cursor into this VC's arena segment.
     head: u16,
     /// Buffered flits.
     len: u16,
+    /// Flits whose payload is already written behind `len` by
+    /// [`Router::reserve_flit`] but not yet visible (still "on the
+    /// wire"); made visible in FIFO order by [`Router::commit_flit`].
+    pending: u16,
 }
 
-/// Per-VC output state; staged flits live in the output arena.
-#[derive(Debug)]
+const IDLE_INPUT: InputVc = InputVc {
+    state: VcState::Idle,
+    ready_at: 0,
+    head: 0,
+    len: 0,
+    pending: 0,
+};
+
+/// Per-VC output state; staged flits live in the SoA output arenas.
+#[derive(Debug, Clone, Copy)]
 struct OutputVc {
     /// Input VC currently holding this output VC, `(port, vc)`.
     owner: Option<(u8, u8)>,
@@ -83,13 +151,19 @@ struct OutputVc {
     len: u16,
 }
 
-/// A flit value used only to initialize arena slots; never observed.
-const FILLER: Flit = Flit {
+const IDLE_OUTPUT: OutputVc = OutputVc {
+    owner: None,
+    credits: 0,
+    head: 0,
+    len: 0,
+};
+
+/// Cold-half value used only to initialize arena slots; never observed.
+const COLD_FILLER: ColdFlit = ColdFlit {
     msg: crate::flit::MessageId(u64::MAX),
     rec: crate::flit::MsgRef(u32::MAX),
     dest: NodeId(u32::MAX),
     seq: u32::MAX,
-    kind: crate::flit::FlitKind::Body,
     lookahead: None,
 };
 
@@ -117,6 +191,34 @@ pub trait StepSink {
     fn launch(&mut self, port: Port, vc: usize, flit: Flit);
     /// An input-buffer slot at `(in_port, vc)` freed; credit the upstream.
     fn credit(&mut self, in_port: Port, vc: usize);
+
+    /// Whether this sink runs the zero-copy wire: crossbar winners hand
+    /// their payload to [`StepSink::transfer`] at XB time (the sink
+    /// places it in the downstream input ring), the router stages only
+    /// the flit's kind, and the eventual launch is announced through
+    /// [`StepSink::launch_reserved`] instead of [`StepSink::launch`].
+    /// Ejection-port traffic always uses the payload-carrying `launch`.
+    /// The default (buffered) protocol keeps payloads in the staging
+    /// arena and launches full flits.
+    fn direct(&self) -> bool {
+        false
+    }
+
+    /// Zero-copy wire only: a crossbar winner's payload, handed over at
+    /// XB time for placement in the downstream input ring. Never called
+    /// on sinks whose [`StepSink::direct`] is false, and never for the
+    /// local (ejection) port.
+    fn transfer(&mut self, out_port: Port, vc: usize, flit: Flit) {
+        debug_assert!(false, "transfer on a buffered sink");
+        let _ = (out_port, vc, flit);
+    }
+
+    /// Zero-copy wire only: a previously transferred flit enters the
+    /// link at `(port, vc)`.
+    fn launch_reserved(&mut self, port: Port, vc: usize) {
+        debug_assert!(false, "launch_reserved on a buffered sink");
+        let _ = (port, vc);
+    }
 }
 
 /// Everything a router produced during one cycle, for the network layer to
@@ -180,36 +282,10 @@ pub struct RouterStats {
 /// [`Router::accept_flit`] and returned credits via
 /// [`Router::accept_credit`].
 pub struct Router {
-    node: NodeId,
-    ports: usize,
-    cfg: RouterConfig,
-    table: RouterTable,
-    inputs: Vec<InputVc>,
-    outputs: Vec<OutputVc>,
-    /// All input-VC flit buffers, one contiguous ring per VC
-    /// (`vc_index * in_cap ..`): the cache-friendly "flit arena".
-    in_arena: Box<[Flit]>,
-    /// All output staging buffers, one contiguous ring per VC.
-    out_arena: Box<[Flit]>,
-    /// Input buffer depth per VC, in flits.
-    in_cap: u16,
-    /// Output staging depth per VC, in flits.
-    out_cap: u16,
-    /// Per output port: VC-multiplexor arbiter over that port's VCs.
-    vm_rr: Vec<RoundRobin>,
-    /// Per input port: which of its VCs proposes a crossbar transfer.
-    xb_in_rr: Vec<RoundRobin>,
-    /// Per output port: which proposing input port wins the crossbar.
-    xb_out_rr: Vec<RoundRobin>,
-    /// Per output port: rotating pointer for output-VC allocation.
-    vc_alloc_rr: Vec<RoundRobin>,
-    selector: PathSelector,
-    rng: SimRng,
-    stats: RouterStats,
-    /// Flits currently held in input buffers (fast idle check).
-    buffered_flits: usize,
-    /// Flits currently held in output staging buffers.
-    staged_flits: usize,
+    // -- Walk-control state, deliberately first: everything the per-cycle
+    //    control flow branches on fits in the struct's leading cache
+    //    lines, so a lightly-loaded router's step touches very little
+    //    memory beyond the flits it actually moves. --
     /// Bit per input VC (flat index): set while its buffer is non-empty.
     in_occupied: u64,
     /// Bit per output VC (flat index): set while its staging buffer is
@@ -219,6 +295,74 @@ pub struct Router {
     in_ports: u16,
     /// Bit per output port: set while any of its VCs holds staged flits.
     out_ports: u16,
+    /// Bit per output VC (flat index): set while it holds credits — the
+    /// VM arbiter's eligibility as a maintained mask, so the grant is one
+    /// AND instead of a credit load per candidate.
+    credit_ok: u64,
+    /// Bit per input VC (flat index): set while the VC is `Active` and
+    /// its target staging ring has space — the crossbar input arbiter's
+    /// eligibility as a maintained mask (combined with `in_occupied` at
+    /// grant time).
+    xb_ok: u64,
+    /// Bit per output VC (flat index): set while no message owns it —
+    /// the VC allocator's eligibility as a maintained mask.
+    owner_free: u64,
+    /// Bit per input VC (flat index): set while the VC's routing state is
+    /// not `Active` (`Idle` or `Select`). ANDed with `in_occupied`, this
+    /// is exactly the set of slots the SA/TL walk can act on, so fully
+    /// streaming routers skip that walk outright.
+    non_active: u64,
+    /// Port-local bit pattern of the adaptive-class VCs
+    /// (`escape_vcs..vcs`), for masked allocation scans.
+    adaptive_mask: u64,
+    /// Input buffer depth per VC, in flits (the flow-control window).
+    in_cap: u16,
+    /// Output staging depth per VC, in flits.
+    out_cap: u16,
+    /// Input ring segment size per VC: `in_cap + out_cap`, leaving room
+    /// for zero-copy reservations made at upstream-crossbar time.
+    in_ring: u16,
+    /// Cached `cfg.vcs_per_port` (the cfg itself is off the hot path).
+    vcs: u8,
+    /// Cached port count.
+    ports: u8,
+    /// Cached `cfg.pipeline.is_lookahead()`.
+    lookahead: bool,
+    /// Cached `cfg.fused_pipeline`.
+    fused: bool,
+    /// Per output port: VC-multiplexor rotation pointer.
+    vm_next: [u8; MAX_PORTS],
+    /// Per input port: rotation pointer over its VCs' crossbar proposals.
+    xb_in_next: [u8; MAX_PORTS],
+    /// Per output port: rotation pointer over proposing input ports.
+    xb_out_next: [u8; MAX_PORTS],
+    /// Per output port: rotation pointer for output-VC allocation.
+    vc_alloc_next: [u8; MAX_PORTS],
+    /// Flits launched per output port (link-utilization reporting),
+    /// counted here — in state the launch already touches — instead of in
+    /// a network-global array the hot path would miss on.
+    link_flits: [u64; MAX_PORTS],
+    /// Per-VC input cursors + routing state, inline (no pointer chase);
+    /// only the first `ports * vcs` entries are live.
+    inputs: [InputVc; MAX_SLOTS],
+    /// Per-VC output cursors + credits, inline.
+    outputs: [OutputVc; MAX_SLOTS],
+    /// Hot halves (kind bytes) of the input-VC flit rings, one contiguous
+    /// segment per VC (`vc_index * in_cap ..`).
+    in_kind: Box<[FlitKind]>,
+    /// Cold halves of the input rings (head decoding / launch reads only).
+    in_cold: Box<[ColdFlit]>,
+    /// Hot halves of the output staging rings.
+    out_kind: Box<[FlitKind]>,
+    /// Cold halves of the output staging rings.
+    out_cold: Box<[ColdFlit]>,
+    selector: PathSelector,
+    rng: SimRng,
+    stats: RouterStats,
+    // -- Cold configuration and identity. --
+    node: NodeId,
+    cfg: RouterConfig,
+    table: RouterTable,
 }
 
 impl std::fmt::Debug for Router {
@@ -251,56 +395,64 @@ impl Router {
     ) -> Router {
         cfg.validate();
         assert!(ports > 0, "router needs at least one port");
+        assert!(ports <= MAX_PORTS, "router exceeds the port budget");
         assert!(
-            ports * cfg.vcs_per_port <= 64,
+            ports * cfg.vcs_per_port <= MAX_SLOTS,
             "router exceeds the 64 (port, VC) occupancy-mask budget"
         );
         assert_eq!(table.node(), node, "table programmed for a different node");
         let vcs = cfg.vcs_per_port;
         let in_cap = u16::try_from(cfg.input_buffer_flits).expect("input buffer fits u16");
         let out_cap = u16::try_from(cfg.output_buffer_flits).expect("output buffer fits u16");
-        let inputs = (0..ports * vcs)
-            .map(|_| InputVc {
-                state: VcState::Idle,
-                tl_ready_at: 0,
-                head: 0,
-                len: 0,
-            })
-            .collect();
-        let outputs = (0..ports * vcs)
-            .map(|_| OutputVc {
-                owner: None,
-                credits: 0,
-                head: 0,
-                len: 0,
-            })
-            .collect();
-        let in_arena = vec![FILLER; ports * vcs * in_cap as usize].into_boxed_slice();
-        let out_arena = vec![FILLER; ports * vcs * out_cap as usize].into_boxed_slice();
+        // Input ring segments hold the visible buffer plus every possible
+        // zero-copy reservation: a reservation is made when the flit wins
+        // the *upstream* crossbar, so up to `out_cap` staged flits plus
+        // `in_cap` credited launches can be outstanding per VC.
+        let in_ring = in_cap.checked_add(out_cap).expect("ring fits u16");
+        let in_slots = ports * vcs * in_ring as usize;
+        let out_slots = ports * vcs * out_cap as usize;
         Router {
-            node,
-            ports,
-            selector: PathSelector::new(cfg.path_selection, ports),
-            cfg,
-            table,
-            inputs,
-            outputs,
-            in_arena,
-            out_arena,
-            in_cap,
-            out_cap,
-            vm_rr: (0..ports).map(|_| RoundRobin::new(vcs)).collect(),
-            xb_in_rr: (0..ports).map(|_| RoundRobin::new(vcs)).collect(),
-            xb_out_rr: (0..ports).map(|_| RoundRobin::new(ports)).collect(),
-            vc_alloc_rr: (0..ports).map(|_| RoundRobin::new(vcs)).collect(),
-            rng,
-            stats: RouterStats::default(),
-            buffered_flits: 0,
-            staged_flits: 0,
             in_occupied: 0,
             out_occupied: 0,
             in_ports: 0,
             out_ports: 0,
+            credit_ok: 0,
+            xb_ok: 0,
+            non_active: u64::MAX,
+            owner_free: if ports * vcs == 64 {
+                u64::MAX
+            } else {
+                (1u64 << (ports * vcs)) - 1
+            },
+            adaptive_mask: {
+                let all = (1u64 << vcs) - 1;
+                let escape = (1u64 << cfg.escape_vcs) - 1;
+                all & !escape
+            },
+            in_cap,
+            out_cap,
+            in_ring,
+            vcs: vcs as u8,
+            ports: ports as u8,
+            lookahead: cfg.pipeline.is_lookahead(),
+            fused: cfg.fused_pipeline,
+            vm_next: [0; MAX_PORTS],
+            xb_in_next: [0; MAX_PORTS],
+            xb_out_next: [0; MAX_PORTS],
+            vc_alloc_next: [0; MAX_PORTS],
+            link_flits: [0; MAX_PORTS],
+            inputs: [IDLE_INPUT; MAX_SLOTS],
+            outputs: [IDLE_OUTPUT; MAX_SLOTS],
+            in_kind: vec![FlitKind::Body; in_slots].into_boxed_slice(),
+            in_cold: vec![COLD_FILLER; in_slots].into_boxed_slice(),
+            out_kind: vec![FlitKind::Body; out_slots].into_boxed_slice(),
+            out_cold: vec![COLD_FILLER; out_slots].into_boxed_slice(),
+            selector: PathSelector::new(cfg.path_selection, ports),
+            rng,
+            stats: RouterStats::default(),
+            node,
+            cfg,
+            table,
         }
     }
 
@@ -311,7 +463,7 @@ impl Router {
 
     /// Number of ports.
     pub fn ports(&self) -> usize {
-        self.ports
+        self.ports as usize
     }
 
     /// The router's configuration.
@@ -324,11 +476,21 @@ impl Router {
         self.stats
     }
 
+    /// Flits launched through output `port` so far.
+    pub fn link_flits(&self, port: Port) -> u64 {
+        self.link_flits[port.index()]
+    }
+
     /// Sets the credit budget of output `(port, vc)` — the downstream input
     /// buffer depth, or [`INFINITE_CREDITS`] for the ejection channel.
     pub fn set_credits(&mut self, port: Port, vc: usize, credits: u32) {
         let idx = self.out_idx(port, vc);
         self.outputs[idx].credits = credits;
+        if credits > 0 {
+            self.credit_ok |= 1 << idx;
+        } else {
+            self.credit_ok &= !(1 << idx);
+        }
     }
 
     /// Current credits of output `(port, vc)`.
@@ -343,28 +505,30 @@ impl Router {
 
     /// Whether the router holds no flits at all (input or staged).
     pub fn is_empty(&self) -> bool {
-        self.buffered_flits == 0 && self.staged_flits == 0
+        // A VC holds flits iff its occupancy bit is set, so the masks are
+        // the whole truth.
+        self.in_occupied == 0 && self.out_occupied == 0
     }
 
     #[inline]
     fn in_idx(&self, port: Port, vc: usize) -> usize {
-        debug_assert!(port.index() < self.ports && vc < self.cfg.vcs_per_port);
-        port.index() * self.cfg.vcs_per_port + vc
+        debug_assert!(port.index() < self.ports() && vc < self.vcs as usize);
+        port.index() * self.vcs as usize + vc
     }
 
     #[inline]
     fn out_idx(&self, port: Port, vc: usize) -> usize {
-        debug_assert!(port.index() < self.ports && vc < self.cfg.vcs_per_port);
-        port.index() * self.cfg.vcs_per_port + vc
+        debug_assert!(port.index() < self.ports() && vc < self.vcs as usize);
+        port.index() * self.vcs as usize + vc
     }
 
-    // Ring-buffer primitives over the flit arenas. Each VC owns the arena
-    // segment `idx * cap .. (idx + 1) * cap`; cursors wrap with a compare
-    // instead of a modulo so the hot path never divides.
+    // Ring-buffer primitives over the SoA flit arenas. Each VC owns the
+    // arena segment `idx * cap .. (idx + 1) * cap`; cursors wrap with a
+    // compare instead of a modulo so the hot path never divides.
 
     #[inline]
     fn ibuf_push(&mut self, idx: usize, flit: Flit) {
-        let cap = self.in_cap;
+        let cap = self.in_ring;
         let vc = &mut self.inputs[idx];
         debug_assert!(vc.len < cap, "input ring overflow");
         let mut slot = vc.head + vc.len;
@@ -372,61 +536,62 @@ impl Router {
             slot -= cap;
         }
         vc.len += 1;
-        self.in_arena[idx * cap as usize + slot as usize] = flit;
+        let (kind, cold) = flit.split();
+        let slot = idx * cap as usize + slot as usize;
+        self.in_kind[slot] = kind;
+        self.in_cold[slot] = cold;
     }
 
+    /// Arena index of input ring `idx`'s front slot (requires `len > 0`).
     #[inline]
-    fn ibuf_pop(&mut self, idx: usize) -> Flit {
-        let cap = self.in_cap;
-        let vc = &mut self.inputs[idx];
-        debug_assert!(vc.len > 0, "input ring underflow");
-        let slot = idx * cap as usize + vc.head as usize;
-        vc.head += 1;
-        if vc.head == cap {
-            vc.head = 0;
+    fn ibuf_front_slot(&self, idx: usize) -> usize {
+        debug_assert!(self.inputs[idx].len > 0, "no front flit");
+        idx * self.in_ring as usize + self.inputs[idx].head as usize
+    }
+
+    /// Advances input ring `in_idx` past its front slot (the flit's
+    /// payload has already gone wherever it was needed).
+    #[inline]
+    fn ibuf_advance(&mut self, in_idx: usize) {
+        let cap = self.in_ring;
+        let ivc = &mut self.inputs[in_idx];
+        debug_assert!(ivc.len > 0, "input ring underflow");
+        ivc.head += 1;
+        if ivc.head == cap {
+            ivc.head = 0;
         }
-        vc.len -= 1;
-        self.in_arena[slot]
+        ivc.len -= 1;
     }
 
+    /// Pushes a kind byte onto staging ring `out_idx`, returning the
+    /// arena slot (so buffered-protocol callers can fill the cold half).
     #[inline]
-    fn ibuf_front(&self, idx: usize) -> Option<&Flit> {
-        let vc = &self.inputs[idx];
-        (vc.len > 0).then(|| &self.in_arena[idx * self.in_cap as usize + vc.head as usize])
-    }
-
-    #[inline]
-    fn ibuf_front_mut(&mut self, idx: usize) -> &mut Flit {
-        let vc = &self.inputs[idx];
-        debug_assert!(vc.len > 0, "no front flit");
-        &mut self.in_arena[idx * self.in_cap as usize + vc.head as usize]
-    }
-
-    #[inline]
-    fn obuf_push(&mut self, idx: usize, flit: Flit) {
-        let cap = self.out_cap;
-        let vc = &mut self.outputs[idx];
-        debug_assert!(vc.len < cap, "staging ring overflow");
-        let mut slot = vc.head + vc.len;
-        if slot >= cap {
-            slot -= cap;
+    fn obuf_push_kind(&mut self, out_idx: usize, kind: FlitKind) -> usize {
+        let ocap = self.out_cap;
+        let ovc = &mut self.outputs[out_idx];
+        debug_assert!(ovc.len < ocap, "staging ring overflow");
+        let mut oslot = ovc.head + ovc.len;
+        if oslot >= ocap {
+            oslot -= ocap;
         }
-        vc.len += 1;
-        self.out_arena[idx * cap as usize + slot as usize] = flit;
+        ovc.len += 1;
+        let oslot = out_idx * ocap as usize + oslot as usize;
+        self.out_kind[oslot] = kind;
+        oslot
     }
 
+    /// Pops the front of input ring `in_idx` and pushes it onto staging
+    /// ring `out_idx`, copying the two SoA halves directly (the full
+    /// [`Flit`] is never reassembled mid-router). Returns the moved
+    /// flit's kind. The buffered-protocol crossbar move.
     #[inline]
-    fn obuf_pop(&mut self, idx: usize) -> Flit {
-        let cap = self.out_cap;
-        let vc = &mut self.outputs[idx];
-        debug_assert!(vc.len > 0, "staging ring underflow");
-        let slot = idx * cap as usize + vc.head as usize;
-        vc.head += 1;
-        if vc.head == cap {
-            vc.head = 0;
-        }
-        vc.len -= 1;
-        self.out_arena[slot]
+    fn move_in_to_out(&mut self, in_idx: usize, out_idx: usize) -> FlitKind {
+        let islot = self.ibuf_front_slot(in_idx);
+        let kind = self.in_kind[islot];
+        self.ibuf_advance(in_idx);
+        let oslot = self.obuf_push_kind(out_idx, kind);
+        self.out_cold[oslot] = self.in_cold[islot];
+        kind
     }
 
     /// SY stage: a flit delivered by the upstream link (or injected by the
@@ -449,10 +614,66 @@ impl Router {
             self.node
         );
         self.ibuf_push(idx, flit);
-        self.buffered_flits += 1;
         self.in_occupied |= 1 << idx;
         self.in_ports |= 1 << port.index();
-        if self.cfg.pipeline.is_lookahead() {
+        if self.lookahead {
+            self.try_lookahead_promote(idx, now);
+        }
+    }
+
+    /// Writes a flit's halves into the input ring slot it will occupy on
+    /// arrival **without making it visible**: the reservation half of the
+    /// zero-copy wire (see the `lapses-network` module docs), performed
+    /// when the flit wins the *upstream* crossbar. The slot is
+    /// `head + len + pending`, which is stable under everything that can
+    /// happen between reservation and arrival — pops advance `head` while
+    /// shrinking `len`, earlier commits trade `pending` for `len` — so
+    /// the payload lands exactly where [`Router::commit_flit`] will
+    /// expose it, and nothing reads past `len` in the meantime. The ring
+    /// segment is sized `in_cap + out_cap`, covering every credited
+    /// launch plus every upstream-staged flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation overflows the ring (the upstream staged
+    /// or launched more than flow control ever allows).
+    pub fn reserve_flit(&mut self, port: Port, vc: usize, flit: Flit) {
+        let idx = self.in_idx(port, vc);
+        let cap = self.in_ring;
+        let ivc = &mut self.inputs[idx];
+        assert!(
+            ivc.len + ivc.pending < cap,
+            "input ring overflow at {} {port} vc{vc}: flow control violated",
+            self.node
+        );
+        let mut slot = ivc.head + ivc.len + ivc.pending;
+        if slot >= cap {
+            slot -= cap;
+        }
+        ivc.pending += 1;
+        let (kind, cold) = flit.split();
+        let slot = idx * cap as usize + slot as usize;
+        self.in_kind[slot] = kind;
+        self.in_cold[slot] = cold;
+    }
+
+    /// Makes the oldest reserved flit at `(port, vc)` visible — the wire
+    /// delivered it — and runs the same SY-stage bookkeeping as
+    /// [`Router::accept_flit`].
+    pub fn commit_flit(&mut self, port: Port, vc: usize, now: Cycle) {
+        let idx = self.in_idx(port, vc);
+        let ivc = &mut self.inputs[idx];
+        debug_assert!(ivc.pending > 0, "commit without a reservation");
+        assert!(
+            ivc.len < self.in_cap,
+            "input buffer overflow at {} {port} vc{vc}: flow control violated",
+            self.node
+        );
+        ivc.pending -= 1;
+        ivc.len += 1;
+        self.in_occupied |= 1 << idx;
+        self.in_ports |= 1 << port.index();
+        if self.lookahead {
             self.try_lookahead_promote(idx, now);
         }
     }
@@ -468,6 +689,7 @@ impl Router {
                 "credit overflow on {port} vc{vc}"
             );
         }
+        self.credit_ok |= 1 << idx;
     }
 
     /// Runs one cycle: VM, XB, SA, then TL, in reverse pipeline order so a
@@ -488,75 +710,167 @@ impl Router {
     /// Runs one cycle, streaming launches and credits into `sink` as the
     /// stages produce them. Returns whether any flit moved or allocation
     /// succeeded. Routers holding no flits return immediately.
+    ///
+    /// Dispatches to the fused single-pass walk or the staged reference
+    /// walk per [`RouterConfig::fused_pipeline`]; the two are
+    /// decision-for-decision identical (see the module docs).
     pub fn step_with<S: StepSink>(&mut self, now: Cycle, sink: &mut S) -> bool {
-        if self.buffered_flits == 0 && self.staged_flits == 0 {
+        if self.in_occupied == 0 && self.out_occupied == 0 {
             return false;
         }
-        let mut moved = self.vm_stage(sink);
-        moved |= self.xb_stage(now, sink);
-        moved |= self.sa_stage(now);
-        self.tl_stage(now);
-        moved
+        if self.fused {
+            self.step_fused(now, sink)
+        } else {
+            let mut moved = self.vm_stage(sink);
+            moved |= self.xb_stage(now, sink);
+            moved |= self.sa_stage(now);
+            self.tl_stage(now);
+            moved
+        }
     }
 
-    /// VM stage: per output port, one staged flit with credits enters the
-    /// link; the tail releases the output VC.
-    fn vm_stage<S: StepSink>(&mut self, sink: &mut S) -> bool {
-        if self.staged_flits == 0 {
-            return false;
-        }
-        let mut moved = false;
-        let vcs = self.cfg.vcs_per_port;
-        let vcmask = (1u64 << vcs) - 1;
-        let mut pmask = self.out_ports;
-        while pmask != 0 {
-            let p = pmask.trailing_zeros() as usize;
-            pmask &= pmask - 1;
-            let base = p * vcs;
-            let port_mask = (self.out_occupied >> base) & vcmask;
-            debug_assert!(port_mask != 0, "stale out_ports bit");
-            let outputs = &self.outputs;
-            let granted =
-                self.vm_rr[p].grant(|v| port_mask & (1 << v) != 0 && outputs[base + v].credits > 0);
-            if let Some(v) = granted {
-                let idx = base + v;
-                let flit = self.obuf_pop(idx);
-                self.staged_flits -= 1;
-                if self.outputs[idx].len == 0 {
-                    self.out_occupied &= !(1 << idx);
-                    if (self.out_occupied >> base) & vcmask == 0 {
-                        self.out_ports &= !(1 << p);
+    /// The fused single-pass cycle walk (see the module docs): VM over the
+    /// occupied output ports, XB proposals + grants over the occupied
+    /// input ports, then one combined SA/TL walk that visits each
+    /// occupied input VC exactly once, with the per-cycle constants
+    /// (`vcs`, masks, pipeline mode) held in registers across all of it.
+    fn step_fused<S: StepSink>(&mut self, now: Cycle, sink: &mut S) -> bool {
+        // VM: per occupied output port, one credited staged flit enters
+        // the link; the tail releases the output VC. (The VM walk has no
+        // stage fusion to exploit, so both walks share `vm_stage`.)
+        let mut moved = self.vm_stage(sink);
+
+        if self.in_occupied != 0 {
+            // XB: separable switch allocation (proposals, then grants).
+            moved |= self.xb_pass(now, sink);
+
+            // SA + TL, fused: one walk over the occupied input VCs. A
+            // slot is in exactly one routing state — Select slots attempt
+            // allocation (SA), Idle slots decode a queued header (TL/
+            // look-ahead promote), Active slots cost one branch — so this
+            // single pass makes the same decisions in the same order as
+            // the staged walk's two passes.
+            let lookahead = self.lookahead;
+            // Only non-`Active` occupied slots can do SA/TL work; fully
+            // streaming routers skip the walk entirely.
+            let mut occupied = self.in_occupied & self.non_active;
+            while occupied != 0 {
+                let idx = occupied.trailing_zeros() as usize;
+                occupied &= occupied - 1;
+                match self.inputs[idx].state {
+                    VcState::Select { entry } => {
+                        if now.as_u64() >= self.inputs[idx].ready_at {
+                            moved |= self.sa_allocate(idx, &entry);
+                        }
                     }
+                    VcState::Idle => {
+                        if lookahead {
+                            self.try_lookahead_promote(idx, now);
+                        } else {
+                            self.tl_decode(idx, now);
+                        }
+                    }
+                    VcState::Active { .. } => {}
                 }
-                let o = &mut self.outputs[idx];
-                if o.credits != INFINITE_CREDITS {
-                    o.credits -= 1;
-                }
-                if flit.kind.is_tail() {
-                    o.owner = None;
-                }
-                sink.launch(Port::from_index(p), v, flit);
-                moved = true;
             }
         }
         moved
     }
 
-    /// XB stage: separable switch allocation; winners move one flit from
-    /// their input buffer to the output staging buffer and free a credit.
-    fn xb_stage<S: StepSink>(&mut self, now: Cycle, sink: &mut S) -> bool {
-        if self.buffered_flits == 0 {
-            return false;
-        }
-        let mut moved = false;
-        let vcs = self.cfg.vcs_per_port;
+    /// VM for one output port: grant a credited staged flit the VC mux
+    /// and launch it into the link. Returns whether a flit launched.
+    #[inline]
+    fn vm_port<S: StepSink>(&mut self, p: usize, sink: &mut S) -> bool {
+        let vcs = self.vcs as usize;
         let vcmask = (1u64 << vcs) - 1;
-        // Input arbitration: each occupied input port proposes one of its
-        // VCs. Proposals are packed small-int arrays (no per-call Option
-        // zeroing, no divisions downstream).
+        let base = p * vcs;
+        let port_mask = (self.out_occupied >> base) & vcmask;
+        debug_assert!(port_mask != 0, "stale out_ports bit");
+        let granted = rr_grant_mask(
+            &mut self.vm_next[p],
+            vcs,
+            port_mask & ((self.credit_ok >> base) & vcmask),
+        );
+        let Some(v) = granted else { return false };
+        let idx = base + v;
+        // Pop the staging ring's front: the kind byte always, the cold
+        // half only when this launch carries a payload (ejections and the
+        // buffered protocol) — under the zero-copy wire the payload
+        // already sits in the downstream input ring.
+        let ocap = self.out_cap;
+        let (slot, was_full) = {
+            let ovc = &mut self.outputs[idx];
+            debug_assert!(ovc.len > 0, "staging ring underflow");
+            let slot = idx * ocap as usize + ovc.head as usize;
+            let was_full = ovc.len == ocap;
+            ovc.head += 1;
+            if ovc.head == ocap {
+                ovc.head = 0;
+            }
+            ovc.len -= 1;
+            (slot, was_full)
+        };
+        let kind = self.out_kind[slot];
+        if self.outputs[idx].len == 0 {
+            self.out_occupied &= !(1 << idx);
+            if (self.out_occupied >> base) & vcmask == 0 {
+                self.out_ports &= !(1 << p);
+            }
+        }
+        let o = &mut self.outputs[idx];
+        if o.credits != INFINITE_CREDITS {
+            o.credits -= 1;
+            if o.credits == 0 {
+                self.credit_ok &= !(1 << idx);
+            }
+        }
+        if kind.is_tail() {
+            o.owner = None;
+            self.owner_free |= 1 << idx;
+        }
+        self.link_flits[p] += 1;
+        if was_full {
+            // The staging ring just gained a slot: the input VC streaming
+            // into it (its owner, if it is still the active streamer —
+            // the owner outlives its tail's crossbar pop) becomes
+            // crossbar-eligible again.
+            if let Some((op_, ov_)) = self.outputs[idx].owner {
+                let owner_idx = op_ as usize * vcs + ov_ as usize;
+                let streaming = matches!(
+                    self.inputs[owner_idx].state,
+                    VcState::Active { out_port, out_vc }
+                        if out_port.index() == p && out_vc as usize == v
+                );
+                if streaming {
+                    self.xb_ok |= 1 << owner_idx;
+                }
+            }
+        }
+        let port = Port::from_index(p);
+        if sink.direct() && !port.is_local() {
+            sink.launch_reserved(port, v);
+        } else {
+            sink.launch(port, v, Flit::assemble(kind, self.out_cold[slot]));
+        }
+        true
+    }
+
+    /// XB: separable switch allocation. Each occupied input port proposes
+    /// one of its VCs (input arbitration), then each requested output port
+    /// grants one proposing input (output arbitration); winners move one
+    /// flit into staging and free a credit.
+    fn xb_pass<S: StepSink>(&mut self, now: Cycle, sink: &mut S) -> bool {
+        let vcs = self.vcs as usize;
+        let ports = self.ports as usize;
+        let vcmask = (1u64 << vcs) - 1;
+        let direct = sink.direct();
+        let mut moved = false;
+        // Input arbitration: proposals are packed small-int arrays (no
+        // per-call Option zeroing, no divisions downstream).
         let mut prop_vc = [0u8; MAX_PORTS];
         let mut prop_of = [u16::MAX; MAX_PORTS]; // flat output VC index
         let mut prop_op = [0u8; MAX_PORTS]; // proposal's output port
+        let mut req_ports = [0u16; MAX_PORTS]; // per output port: proposers
         let mut requested_outputs = 0u16; // bit per output port
         let mut pmask = self.in_ports;
         while pmask != 0 {
@@ -565,20 +879,11 @@ impl Router {
             let base = p * vcs;
             let port_mask = (self.in_occupied >> base) & vcmask;
             debug_assert!(port_mask != 0, "stale in_ports bit");
-            let inputs = &self.inputs;
-            let outputs = &self.outputs;
-            let out_cap = self.out_cap;
-            let granted = self.xb_in_rr[p].grant(|v| {
-                if port_mask & (1 << v) == 0 {
-                    return false;
-                }
-                match inputs[base + v].state {
-                    VcState::Active { out_port, out_vc } => {
-                        outputs[out_port.index() * vcs + out_vc as usize].len < out_cap
-                    }
-                    _ => false,
-                }
-            });
+            let granted = rr_grant_mask(
+                &mut self.xb_in_next[p],
+                vcs,
+                port_mask & ((self.xb_ok >> base) & vcmask),
+            );
             if let Some(v) = granted {
                 let VcState::Active { out_port, out_vc } = self.inputs[base + v].state else {
                     unreachable!("granted VC is active");
@@ -586,6 +891,7 @@ impl Router {
                 prop_vc[p] = v as u8;
                 prop_of[p] = (out_port.index() * vcs + out_vc as usize) as u16;
                 prop_op[p] = out_port.index() as u8;
+                req_ports[out_port.index()] |= 1 << p;
                 requested_outputs |= 1 << out_port.index();
             }
         }
@@ -594,15 +900,29 @@ impl Router {
         while omask != 0 {
             let op = omask.trailing_zeros() as usize;
             omask &= omask - 1;
-            let winner = self.xb_out_rr[op]
-                .grant(|ip| prop_of[ip] != u16::MAX && prop_op[ip] as usize == op);
+            let winner = rr_grant_mask(&mut self.xb_out_next[op], ports, req_ports[op] as u64);
             let Some(ip) = winner else { continue };
             let iv = prop_vc[ip] as usize;
             let of = prop_of[ip] as usize;
-            prop_of[ip] = u16::MAX; // an input port sends at most one flit
+            debug_assert!(prop_op[ip] as usize == op && of != u16::MAX as usize);
             let in_idx = ip * vcs + iv;
-            let flit = self.ibuf_pop(in_idx);
-            self.buffered_flits -= 1;
+            let kind = if direct && op != Port::LOCAL.index() {
+                // Zero-copy wire: hand the payload to the sink (it goes
+                // straight into the downstream input ring) and stage only
+                // the kind byte for the VC multiplexor.
+                let islot = self.ibuf_front_slot(in_idx);
+                let kind = self.in_kind[islot];
+                sink.transfer(
+                    Port::from_index(op),
+                    of - op * vcs,
+                    Flit::assemble(kind, self.in_cold[islot]),
+                );
+                self.ibuf_advance(in_idx);
+                self.obuf_push_kind(of, kind);
+                kind
+            } else {
+                self.move_in_to_out(in_idx, of)
+            };
             if self.inputs[in_idx].len == 0 {
                 self.in_occupied &= !(1 << in_idx);
                 if (self.in_occupied >> (ip * vcs)) & vcmask == 0 {
@@ -610,7 +930,7 @@ impl Router {
                 }
             }
             sink.credit(Port::from_index(ip), iv);
-            if flit.kind.is_tail() {
+            if kind.is_tail() {
                 // The freed VC's next header is decoded by the TL phase of
                 // *this* cycle (it runs after SA), so its earliest
                 // selection attempt is next cycle — in LA-PROUD. PROUD
@@ -618,13 +938,17 @@ impl Router {
                 // `tl_ready_at`.
                 let ivc = &mut self.inputs[in_idx];
                 ivc.state = VcState::Idle;
-                ivc.tl_ready_at = now.as_u64() + 1;
+                ivc.ready_at = now.as_u64() + 1;
+                self.xb_ok &= !(1 << in_idx); // no longer an active streamer
+                self.non_active |= 1 << in_idx;
+            } else if self.outputs[of].len == self.out_cap {
+                // The move filled the staging ring: the streamer stalls
+                // until the VC multiplexor frees a slot.
+                self.xb_ok &= !(1 << in_idx);
             }
             self.selector
-                .note_port_used(Port::from_index(op), now.as_u64(), flit.kind.is_head());
+                .note_port_used(Port::from_index(op), now.as_u64(), kind.is_head());
             self.stats.flits_switched += 1;
-            self.obuf_push(of, flit);
-            self.staged_flits += 1;
             self.out_occupied |= 1 << of;
             self.out_ports |= 1 << op;
             moved = true;
@@ -632,53 +956,115 @@ impl Router {
         moved
     }
 
+    /// SA for one `Select` input VC whose table lookup has completed:
+    /// selection + output-VC allocation with the Duato escape fallback;
+    /// LA-PROUD concurrently performs the next hop's table lookup and
+    /// rewrites the header. Returns whether the allocation succeeded.
+    fn sa_allocate(&mut self, idx: usize, entry: &RouteEntry) -> bool {
+        let vcs = self.vcs as usize;
+        let slot = self.ibuf_front_slot(idx);
+        debug_assert!(self.in_kind[slot].is_head(), "selection on a non-head flit");
+        let dest = self.in_cold[slot].dest;
+        match self.try_allocate(entry) {
+            Some((out_port, out_vc, used_escape)) => {
+                let of = out_port.index() * vcs + out_vc;
+                self.outputs[of].owner = Some(((idx / vcs) as u8, (idx % vcs) as u8));
+                self.owner_free &= !(1 << of);
+                let lookahead = (self.lookahead && !out_port.is_local())
+                    .then(|| self.table.lookahead_entry(out_port, dest));
+                self.in_cold[slot].lookahead = lookahead;
+                self.inputs[idx].state = VcState::Active {
+                    out_port,
+                    out_vc: out_vc as u8,
+                };
+                self.non_active &= !(1 << idx);
+                if self.outputs[of].len < self.out_cap {
+                    self.xb_ok |= 1 << idx;
+                } else {
+                    self.xb_ok &= !(1 << idx);
+                }
+                self.stats.headers_routed += 1;
+                if used_escape {
+                    self.stats.escape_allocations += 1;
+                } else {
+                    self.stats.adaptive_allocations += 1;
+                }
+                true
+            }
+            None => {
+                self.stats.selection_stall_cycles += 1;
+                false
+            }
+        }
+    }
+
+    /// PROUD TL for one `Idle` input VC: decode + table lookup when a
+    /// queued header has reached the buffer front and the post-tail
+    /// blackout (`tl_ready_at`) has passed.
+    fn tl_decode(&mut self, idx: usize, now: Cycle) {
+        debug_assert_eq!(self.inputs[idx].state, VcState::Idle);
+        if now.as_u64() < self.inputs[idx].ready_at || self.inputs[idx].len == 0 {
+            return;
+        }
+        let slot = self.ibuf_front_slot(idx);
+        if !self.in_kind[slot].is_head() {
+            return;
+        }
+        let entry = self.table.entry(self.in_cold[slot].dest);
+        // The k-cycle lookup starting now completes at now + k; the
+        // selection stage may fire from that cycle on (k = 1 recovers
+        // the classic one-cycle TL stage).
+        let ivc = &mut self.inputs[idx];
+        ivc.ready_at = now.as_u64() + self.cfg.table_lookup_cycles as u64;
+        ivc.state = VcState::Select { entry };
+    }
+
+    // ---- The staged reference walk (pre-fusion structure) ----
+
+    /// VM stage: per output port, one staged flit with credits enters the
+    /// link; the tail releases the output VC.
+    fn vm_stage<S: StepSink>(&mut self, sink: &mut S) -> bool {
+        if self.out_occupied == 0 {
+            return false;
+        }
+        let mut moved = false;
+        let mut pmask = self.out_ports;
+        while pmask != 0 {
+            let p = pmask.trailing_zeros() as usize;
+            pmask &= pmask - 1;
+            moved |= self.vm_port(p, sink);
+        }
+        moved
+    }
+
+    /// XB stage: separable switch allocation; winners move one flit from
+    /// their input buffer to the output staging buffer and free a credit.
+    fn xb_stage<S: StepSink>(&mut self, now: Cycle, sink: &mut S) -> bool {
+        if self.in_occupied == 0 {
+            return false;
+        }
+        self.xb_pass(now, sink)
+    }
+
     /// SA stage: selection + output-VC allocation for waiting headers, with
     /// the Duato escape fallback; LA-PROUD concurrently performs the next
     /// hop's table lookup and rewrites the header.
     fn sa_stage(&mut self, now: Cycle) -> bool {
-        if self.buffered_flits == 0 {
+        if self.in_occupied == 0 {
             return false;
         }
         let mut moved = false;
-        let vcs = self.cfg.vcs_per_port;
         let mut occupied = self.in_occupied;
         while occupied != 0 {
             let idx = occupied.trailing_zeros() as usize;
             occupied &= occupied - 1;
-            let VcState::Select { entry, ready_at } = self.inputs[idx].state else {
+            let VcState::Select { entry } = self.inputs[idx].state else {
                 continue;
             };
-            if now.as_u64() < ready_at {
+            if now.as_u64() < self.inputs[idx].ready_at {
                 continue; // table RAM still busy
             }
-            let head = self.ibuf_front(idx).expect("selecting VC holds its header");
-            debug_assert!(head.kind.is_head(), "selection on a non-head flit");
-            let dest = head.dest;
-
-            match self.try_allocate(&entry) {
-                Some((out_port, out_vc, used_escape)) => {
-                    self.outputs[out_port.index() * vcs + out_vc].owner =
-                        Some(((idx / vcs) as u8, (idx % vcs) as u8));
-                    let lookahead = (self.cfg.pipeline.is_lookahead() && !out_port.is_local())
-                        .then(|| self.table.lookahead_entry(out_port, dest));
-                    self.ibuf_front_mut(idx).lookahead = lookahead;
-                    self.inputs[idx].state = VcState::Active {
-                        out_port,
-                        out_vc: out_vc as u8,
-                    };
-                    self.stats.headers_routed += 1;
-                    if used_escape {
-                        self.stats.escape_allocations += 1;
-                    } else {
-                        self.stats.adaptive_allocations += 1;
-                    }
-                    moved = true;
-                }
-                None => {
-                    self.stats.selection_stall_cycles += 1;
-                }
-            }
-            let _ = now;
+            moved |= self.sa_allocate(idx, &entry);
         }
         moved
     }
@@ -688,26 +1074,26 @@ impl Router {
     /// heuristic when several ports are available), then the escape VC of
     /// the entry's dateline subclass. Returns `(port, vc, used_escape)`.
     fn try_allocate(&mut self, entry: &RouteEntry) -> Option<(Port, usize, bool)> {
-        let vcs = self.cfg.vcs_per_port;
+        let vcs = self.vcs as usize;
+
+        let vcmask = (1u64 << vcs) - 1;
 
         // Destination reached: any free VC on the local exit port.
         if entry.is_local() {
-            let outputs = &self.outputs;
             let local = Port::LOCAL.index() * vcs;
-            let v = self.vc_alloc_rr[Port::LOCAL.index()]
-                .grant(|v| outputs[local + v].owner.is_none())?;
+            let v = rr_grant_mask(
+                &mut self.vc_alloc_next[Port::LOCAL.index()],
+                vcs,
+                (self.owner_free >> local) & vcmask,
+            )?;
             return Some((Port::LOCAL, v, false));
         }
 
         // Adaptive pass: candidate ports with a free adaptive-class VC.
-        let adaptive = self.cfg.adaptive_vcs();
         let mut avail = [Port::LOCAL; lapses_topology::MAX_DIMS * 2 + 1];
         let mut n_avail = 0;
         for p in entry.candidates.iter() {
-            let base = p.index() * vcs;
-            let has_free = adaptive
-                .clone()
-                .any(|v| self.outputs[base + v].owner.is_none());
+            let has_free = (self.owner_free >> (p.index() * vcs)) & self.adaptive_mask != 0;
             if has_free {
                 avail[n_avail] = p;
                 n_avail += 1;
@@ -736,11 +1122,12 @@ impl Router {
                 )
             };
             let base = chosen.index() * vcs;
-            let outputs = &self.outputs;
-            let adaptive = self.cfg.adaptive_vcs();
-            let v = self.vc_alloc_rr[chosen.index()]
-                .grant(|v| adaptive.contains(&v) && outputs[base + v].owner.is_none())
-                .expect("an adaptive VC was free");
+            let v = rr_grant_mask(
+                &mut self.vc_alloc_next[chosen.index()],
+                vcs,
+                (self.owner_free >> base) & self.adaptive_mask,
+            )
+            .expect("an adaptive VC was free");
             return Some((chosen, v, false));
         }
 
@@ -751,7 +1138,7 @@ impl Router {
             let sub = entry.escape_subclass as usize % self.cfg.escape_subclasses;
             let base = escape.index() * vcs;
             for v in self.cfg.escape_vcs_for_subclass(sub) {
-                if self.outputs[base + v].owner.is_none() {
+                if self.owner_free & (1 << (base + v)) != 0 {
                     return Some((escape, v, true));
                 }
             }
@@ -761,14 +1148,15 @@ impl Router {
 
     /// Live status of an output port for the path-selection heuristics.
     fn port_status(&self, port: Port) -> PortStatus {
-        let vcs = self.cfg.vcs_per_port;
+        let vcs = self.vcs as usize;
         let base = port.index() * vcs;
-        let mut status = PortStatus::default();
+        let vcmask = (1u64 << vcs) - 1;
+        let mut status = PortStatus {
+            active_vcs: (!(self.owner_free >> base) & vcmask).count_ones(),
+            ..PortStatus::default()
+        };
         for v in 0..vcs {
             let o = &self.outputs[base + v];
-            if o.owner.is_some() {
-                status.active_vcs += 1;
-            }
             let credits = if o.credits == INFINITE_CREDITS {
                 self.cfg.input_buffer_flits as u32
             } else {
@@ -785,38 +1173,19 @@ impl Router {
     /// promotion only — heads are normally promoted at delivery or when
     /// the previous tail departs, at zero cycle cost.
     fn tl_stage(&mut self, now: Cycle) {
-        if self.buffered_flits == 0 {
+        if self.in_occupied == 0 {
             return;
         }
-        if self.cfg.pipeline.is_lookahead() {
-            let mut occupied = self.in_occupied;
-            while occupied != 0 {
-                let idx = occupied.trailing_zeros() as usize;
-                occupied &= occupied - 1;
-                self.try_lookahead_promote(idx, now);
-            }
-            return;
-        }
+        let lookahead = self.lookahead;
         let mut occupied = self.in_occupied;
         while occupied != 0 {
             let idx = occupied.trailing_zeros() as usize;
             occupied &= occupied - 1;
-            let ivc = &self.inputs[idx];
-            if ivc.state != VcState::Idle || now.as_u64() < ivc.tl_ready_at {
-                continue;
+            if lookahead {
+                self.try_lookahead_promote(idx, now);
+            } else if self.inputs[idx].state == VcState::Idle {
+                self.tl_decode(idx, now);
             }
-            let Some(front) = self.ibuf_front(idx) else {
-                continue;
-            };
-            if !front.kind.is_head() {
-                continue;
-            }
-            let entry = self.table.entry(front.dest);
-            // The k-cycle lookup starting now completes at now + k; the
-            // selection stage may fire from that cycle on (k = 1 recovers
-            // the classic one-cycle TL stage).
-            let ready_at = now.as_u64() + self.cfg.table_lookup_cycles as u64;
-            self.inputs[idx].state = VcState::Select { entry, ready_at };
         }
     }
 
@@ -824,19 +1193,19 @@ impl Router {
     /// front, arm the selection stage from the header's carried candidate
     /// information (the look-ahead decode, costing no pipeline stage).
     fn try_lookahead_promote(&mut self, idx: usize, now: Cycle) {
-        if self.inputs[idx].state != VcState::Idle {
+        if self.inputs[idx].state != VcState::Idle || self.inputs[idx].len == 0 {
             return;
         }
-        let Some(front) = self.ibuf_front(idx) else {
-            return;
-        };
-        if !front.kind.is_head() {
+        let slot = self.ibuf_front_slot(idx);
+        if !self.in_kind[slot].is_head() {
             return;
         }
+        let front = &self.in_cold[slot];
         let entry = front.lookahead.unwrap_or_else(|| {
             panic!(
                 "LA-PROUD header {} arrived at {} without look-ahead info",
-                front, self.node
+                Flit::assemble(self.in_kind[slot], *front),
+                self.node
             )
         });
         debug_assert_eq!(
@@ -852,10 +1221,9 @@ impl Router {
         // the *concurrent next-hop lookup*: the outgoing header is complete
         // k cycles after selection starts, so allocation may finish at
         // now + k (k = 1 recovers the zero-overhead look-ahead pipeline).
-        self.inputs[idx].state = VcState::Select {
-            entry,
-            ready_at: now.as_u64() + self.cfg.table_lookup_cycles as u64,
-        };
+        let ivc = &mut self.inputs[idx];
+        ivc.ready_at = now.as_u64() + self.cfg.table_lookup_cycles as u64;
+        ivc.state = VcState::Select { entry };
     }
 }
 
@@ -1219,5 +1587,65 @@ mod tests {
         let launches = run(&mut r, 1, 10);
         assert_eq!(launches.len(), 1);
         assert_eq!(launches[0].0, 4);
+    }
+
+    #[test]
+    fn fused_and_staged_walks_are_launch_identical() {
+        // The same traffic through the fused single-pass walk and the
+        // staged reference walk must produce identical launch sequences,
+        // credit sequences and statistics — per cycle, not just in
+        // aggregate.
+        let feed = |r: &mut Router, lookahead: bool| {
+            for (m, vc, len) in [(1u64, 0usize, 4u32), (2, 1, 1), (3, 2, 6), (4, 0, 2)] {
+                let mut flits = Flit::message(MessageId(m), MsgRef(m as u32), NodeId(3), len);
+                if lookahead {
+                    flits[0].lookahead = Some(r.table.entry(flits[0].dest));
+                }
+                for (i, f) in flits.iter().enumerate() {
+                    r.accept_flit(Port::LOCAL, vc, *f, Cycle::new(i as u64));
+                }
+            }
+        };
+        for lookahead in [false, true] {
+            let trace = |fused: bool| {
+                let cfg = RouterConfig::paper_adaptive()
+                    .with_lookahead(lookahead)
+                    .with_fused_pipeline(fused);
+                let mut r = line_router(cfg);
+                feed(&mut r, lookahead);
+                let mut events = Vec::new();
+                for t in 1..=40u64 {
+                    let out = r.step(Cycle::new(t));
+                    for l in &out.launches {
+                        events.push((t, l.port, l.vc, l.flit));
+                    }
+                    for c in &out.credits {
+                        events.push((t, c.0, c.1, Flit::assemble(FlitKind::Body, COLD_FILLER)));
+                    }
+                }
+                assert!(r.is_empty(), "all traffic must drain");
+                (events, r.stats())
+            };
+            let (fused_events, fused_stats) = trace(true);
+            let (staged_events, staged_stats) = trace(false);
+            assert_eq!(fused_events, staged_events, "lookahead={lookahead}");
+            assert_eq!(fused_stats, staged_stats);
+            assert!(fused_stats.flits_switched > 0, "trace must not be vacuous");
+        }
+    }
+
+    #[test]
+    fn soa_arenas_keep_lookahead_rewrites_on_the_cold_side() {
+        // SA writes the next hop's entry into the cold half in place; the
+        // launched header must carry it even though XB only copies halves.
+        let mut r = line_router(RouterConfig::paper_adaptive().with_lookahead(true));
+        let flits = with_lookahead(message(3, 2), &r);
+        for f in &flits {
+            r.accept_flit(Port::LOCAL, 0, *f, Cycle::ZERO);
+        }
+        let launches = run(&mut r, 1, 8);
+        assert_eq!(launches.len(), 2);
+        assert!(launches[0].1.flit.lookahead.is_some(), "head keeps entry");
+        assert!(launches[1].1.flit.lookahead.is_none(), "tail carries none");
     }
 }

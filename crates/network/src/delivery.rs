@@ -1,35 +1,79 @@
 //! Link and credit-return transport with fixed delays.
 
-use lapses_core::Flit;
+use lapses_core::{Flit, FlitKind, MsgRef};
 use lapses_sim::Cycle;
 use lapses_topology::{NodeId, Port};
-use std::collections::VecDeque;
 
 /// A flit in flight toward a router input (or a NIC ejection buffer).
+/// Packed to 40 bytes — roughly a hundred of these cross the wire rings
+/// per cycle, so every byte is ring traffic.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct FlitDelivery {
+    pub flit: Flit,
     pub node: NodeId,
     /// Input port at the receiving router; the local port means ejection
     /// into the NIC.
     pub port: Port,
-    pub vc: usize,
-    pub flit: Flit,
+    /// Virtual channel (fits u8: routers hold at most 64 VCs total).
+    pub vc: u8,
+}
+
+/// A `(node, port, vc)` address packed into one u32 — the payload of the
+/// credit and arrival-event rings, which carry a couple of hundred
+/// records per cycle: `node` in the low 22 bits (meshes up to 4M nodes),
+/// `port` in 4 bits, `vc` in 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WireAddr(u32);
+
+impl WireAddr {
+    #[inline]
+    pub fn new(node: NodeId, port: Port, vc: u8) -> WireAddr {
+        debug_assert!(node.0 < 1 << 22 && port.index() < 16 && vc < 64);
+        WireAddr(node.0 | (port.index() as u32) << 22 | (vc as u32) << 26)
+    }
+
+    #[inline]
+    pub fn node(self) -> usize {
+        (self.0 & ((1 << 22) - 1)) as usize
+    }
+
+    #[inline]
+    pub fn port(self) -> Port {
+        Port::from_index((self.0 >> 22 & 0xF) as usize)
+    }
+
+    #[inline]
+    pub fn vc(self) -> usize {
+        (self.0 >> 26) as usize
+    }
 }
 
 /// A credit in flight back toward an upstream router output (or the NIC's
-/// injection credit pool when `port` is the local port).
+/// injection credit pool when the port is the local port).
+pub(crate) type CreditDelivery = WireAddr;
+
+/// An ejection in flight toward a NIC sink. The latency statistics only
+/// need the message-record handle and the flit's position, so the
+/// zero-copy wire ships 8 bytes instead of a full delivery record.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct CreditDelivery {
-    pub node: NodeId,
-    pub port: Port,
-    pub vc: usize,
+pub(crate) struct EjectRecord {
+    pub rec: MsgRef,
+    pub kind: FlitKind,
 }
+
+/// An arrival notification for a flit whose payload was already written
+/// into the destination router's input arena at reservation time
+/// (`Router::reserve_flit`) — the zero-copy wire carries 4 bytes per flit
+/// instead of 40.
+pub(crate) type ArrivalEvent = WireAddr;
 
 /// Fixed-latency pipelines for flits and credits.
 ///
 /// Implemented as per-cycle buckets in a ring: scheduling is O(1) and each
-/// cycle's arrivals pop out in FIFO order, which keeps simulation results
-/// independent of router iteration order.
+/// cycle's arrivals pop out in FIFO (launch) order, which keeps simulation
+/// results independent of router iteration order. Buckets are plain `Vec`s
+/// so the network layer can index a cycle's arrivals when it batches them
+/// by destination router.
 #[derive(Debug)]
 pub(crate) struct DeliveryQueues {
     flit_delay: u64,
@@ -37,8 +81,14 @@ pub(crate) struct DeliveryQueues {
     /// `flits[t % ring]` holds flits arriving at cycle `t`; the slot for
     /// the current cycle is tracked incrementally (`flit_now`/`flit_slot`)
     /// so the hot path never computes a modulo.
-    flits: Vec<VecDeque<FlitDelivery>>,
-    credits: Vec<VecDeque<CreditDelivery>>,
+    flits: Vec<Vec<FlitDelivery>>,
+    /// Arrival events for payload-reserved flits; shares the flit ring's
+    /// delay and cursor.
+    events: Vec<Vec<ArrivalEvent>>,
+    /// Ejections bound for the NIC sinks (zero-copy wire); shares the
+    /// flit ring's delay and cursor.
+    ejects: Vec<Vec<EjectRecord>>,
+    credits: Vec<Vec<CreditDelivery>>,
     in_flight_flits: usize,
     /// Cycle `flit_slot` corresponds to. Accesses must be monotone in time.
     flit_now: u64,
@@ -64,8 +114,10 @@ impl DeliveryQueues {
         DeliveryQueues {
             flit_delay,
             credit_delay,
-            flits: (0..=flit_delay).map(|_| VecDeque::new()).collect(),
-            credits: (0..=credit_delay).map(|_| VecDeque::new()).collect(),
+            flits: (0..=flit_delay).map(|_| Vec::new()).collect(),
+            events: (0..=flit_delay).map(|_| Vec::new()).collect(),
+            ejects: (0..=flit_delay).map(|_| Vec::new()).collect(),
+            credits: (0..=credit_delay).map(|_| Vec::new()).collect(),
             in_flight_flits: 0,
             flit_now: 0,
             flit_slot: 0,
@@ -109,8 +161,49 @@ impl DeliveryQueues {
         if slot >= self.flits.len() {
             slot -= self.flits.len();
         }
-        self.flits[slot].push_back(delivery);
+        self.flits[slot].push(delivery);
         self.in_flight_flits += 1;
+    }
+
+    /// Schedules an arrival event for a payload-reserved flit launched
+    /// during `now`; it pops out `flit_delay` cycles later, like a
+    /// materialized flit would.
+    pub fn send_event(&mut self, now: Cycle, event: ArrivalEvent) {
+        let mut slot = self.flit_slot_at(now.as_u64()) + self.flit_delay as usize;
+        if slot >= self.events.len() {
+            slot -= self.events.len();
+        }
+        self.events[slot].push(event);
+        self.in_flight_flits += 1;
+    }
+
+    /// Swaps the bucket of arrival events due at `now` with `buf` (must
+    /// be empty), mirroring [`DeliveryQueues::swap_flits`].
+    pub fn swap_events(&mut self, now: Cycle, buf: &mut Vec<ArrivalEvent>) {
+        debug_assert!(buf.is_empty(), "swap target must be empty");
+        let slot = self.flit_slot_at(now.as_u64());
+        std::mem::swap(&mut self.events[slot], buf);
+        self.in_flight_flits -= buf.len();
+    }
+
+    /// Schedules an ejection launched during `now`; it reaches the NIC
+    /// sink `flit_delay` cycles later, like a materialized flit would.
+    pub fn send_eject(&mut self, now: Cycle, record: EjectRecord) {
+        let mut slot = self.flit_slot_at(now.as_u64()) + self.flit_delay as usize;
+        if slot >= self.ejects.len() {
+            slot -= self.ejects.len();
+        }
+        self.ejects[slot].push(record);
+        self.in_flight_flits += 1;
+    }
+
+    /// Swaps the bucket of ejections due at `now` with `buf` (must be
+    /// empty), mirroring [`DeliveryQueues::swap_flits`].
+    pub fn swap_ejects(&mut self, now: Cycle, buf: &mut Vec<EjectRecord>) {
+        debug_assert!(buf.is_empty(), "swap target must be empty");
+        let slot = self.flit_slot_at(now.as_u64());
+        std::mem::swap(&mut self.ejects[slot], buf);
+        self.in_flight_flits -= buf.len();
     }
 
     /// Schedules a credit emitted during `now`.
@@ -119,12 +212,12 @@ impl DeliveryQueues {
         if slot >= self.credits.len() {
             slot -= self.credits.len();
         }
-        self.credits[slot].push_back(delivery);
+        self.credits[slot].push(delivery);
     }
 
     /// Removes and returns the flits arriving at `now`.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn take_flits(&mut self, now: Cycle) -> VecDeque<FlitDelivery> {
+    pub fn take_flits(&mut self, now: Cycle) -> Vec<FlitDelivery> {
         let slot = self.flit_slot_at(now.as_u64());
         let out = std::mem::take(&mut self.flits[slot]);
         self.in_flight_flits -= out.len();
@@ -134,7 +227,7 @@ impl DeliveryQueues {
     /// Swaps the bucket of flits arriving at `now` with `buf` (which must
     /// be empty): the caller gets the arrivals without copying a single
     /// delivery, and the bucket inherits `buf`'s capacity for reuse.
-    pub fn swap_flits(&mut self, now: Cycle, buf: &mut VecDeque<FlitDelivery>) {
+    pub fn swap_flits(&mut self, now: Cycle, buf: &mut Vec<FlitDelivery>) {
         debug_assert!(buf.is_empty(), "swap target must be empty");
         let slot = self.flit_slot_at(now.as_u64());
         std::mem::swap(&mut self.flits[slot], buf);
@@ -143,14 +236,14 @@ impl DeliveryQueues {
 
     /// Removes and returns the credits arriving at `now`.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn take_credits(&mut self, now: Cycle) -> VecDeque<CreditDelivery> {
+    pub fn take_credits(&mut self, now: Cycle) -> Vec<CreditDelivery> {
         let slot = self.credit_slot_at(now.as_u64());
         std::mem::take(&mut self.credits[slot])
     }
 
     /// Swaps the bucket of credits arriving at `now` with `buf` (must be
     /// empty), mirroring [`DeliveryQueues::swap_flits`].
-    pub fn swap_credits(&mut self, now: Cycle, buf: &mut VecDeque<CreditDelivery>) {
+    pub fn swap_credits(&mut self, now: Cycle, buf: &mut Vec<CreditDelivery>) {
         debug_assert!(buf.is_empty(), "swap target must be empty");
         let slot = self.credit_slot_at(now.as_u64());
         std::mem::swap(&mut self.credits[slot], buf);
@@ -207,11 +300,7 @@ mod tests {
         );
         q.send_credit(
             Cycle::new(10),
-            CreditDelivery {
-                node: NodeId(0),
-                port: Port::LOCAL,
-                vc: 1,
-            },
+            CreditDelivery::new(NodeId(0), Port::LOCAL, 1),
         );
         assert!(q.take_flits(Cycle::new(12)).is_empty());
         assert_eq!(q.take_flits(Cycle::new(13)).len(), 1);
@@ -234,8 +323,33 @@ mod tests {
             );
         }
         let arrived = q.take_flits(Cycle::new(1));
-        let vcs: Vec<usize> = arrived.iter().map(|d| d.vc).collect();
+        let vcs: Vec<u8> = arrived.iter().map(|d| d.vc).collect();
         assert_eq!(vcs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn swap_reuses_the_buffer_capacity() {
+        let mut q = DeliveryQueues::new(1, 1);
+        for vc in 0..4 {
+            q.send_flit(
+                Cycle::new(0),
+                FlitDelivery {
+                    node: NodeId(0),
+                    port: Port::LOCAL,
+                    vc,
+                    flit: flit(),
+                },
+            );
+        }
+        let mut buf = Vec::new();
+        q.swap_flits(Cycle::new(1), &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(q.in_flight(), 0);
+        buf.clear();
+        // The bucket inherited the capacity; the next cycle swap returns
+        // an empty buffer without touching the allocator.
+        q.swap_flits(Cycle::new(2), &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -191,6 +191,10 @@ pub struct SimConfig {
     /// scans every router and NIC each cycle. Both modes are bit-identical
     /// — see [`Network::set_active_scheduling`].
     pub active_scheduling: bool,
+    /// Whether link arrivals are delivered as per-router batches (the
+    /// default) or flit-at-a-time. Both modes are bit-identical — see
+    /// [`Network::set_batched_delivery`].
+    pub batched_delivery: bool,
 }
 
 impl SimConfig {
@@ -221,6 +225,7 @@ impl SimConfig {
             max_cycles: 10_000_000,
             stall_window: 20_000,
             active_scheduling: true,
+            batched_delivery: true,
         }
     }
 
@@ -328,6 +333,20 @@ impl SimConfig {
         self
     }
 
+    /// Switches the routers' fused single-pass stage walk on or off
+    /// (differential testing; results are bit-identical either way).
+    pub fn with_fused_pipeline(mut self, fused: bool) -> SimConfig {
+        self.router = self.router.with_fused_pipeline(fused);
+        self
+    }
+
+    /// Switches batched link delivery on or off (differential testing;
+    /// results are bit-identical either way).
+    pub fn with_batched_delivery(mut self, enabled: bool) -> SimConfig {
+        self.batched_delivery = enabled;
+        self
+    }
+
     /// Applies `LAPSES_WARMUP_MSGS` / `LAPSES_MEASURE_MSGS` environment
     /// overrides, letting the benches run the full paper protocol on
     /// demand without recompiling.
@@ -373,6 +392,7 @@ impl SimConfig {
             self.seed,
         );
         net.set_active_scheduling(self.active_scheduling);
+        net.set_batched_delivery(self.batched_delivery);
 
         let pattern = self.pattern.build();
         let arrivals = Exponential::new(Generator::mean_gap_for_load(

@@ -36,9 +36,39 @@
 //! decision is **bit-identical** with the scheduler on or off
 //! ([`Network::set_active_scheduling`]; the `scheduler_equivalence`
 //! integration test enforces this across patterns, loads and pipelines).
+//!
+//! # The zero-copy wire and batched delivery
+//!
+//! With batching on (the default, [`Network::set_batched_delivery`]) a
+//! launch toward a neighbor router writes the flit's payload **directly
+//! into the input-arena slot it will occupy on arrival**
+//! (`Router::reserve_flit` — the slot is computable at launch time and
+//! stable until then), and only a packed 4-byte
+//! [`crate::delivery::ArrivalEvent`] rides the delay ring. When the link delay elapses, the cycle loop
+//! chains that cycle's events by destination router and commits them
+//! router by router (`Router::commit_flit` flips the flit visible): each
+//! receiving router's state is touched once per cycle instead of once per
+//! flit, its wake-up bit is set once per batch, and no 40-byte delivery
+//! record is ever written, carried, or re-copied into the buffer.
+//! Credits ride the same packed 4-byte address; ejections ship an 8-byte
+//! record (message handle + kind — all the statistics need).
+//!
+//! The reference path (batching off) materializes classic
+//! [`crate::delivery::FlitDelivery`] records and delivers them
+//! flit-at-a-time in launch (FIFO) order via `Router::accept_flit`. The
+//! two are bit-identical because (a) a reserved payload is invisible to
+//! the router until its commit — no stage reads past a ring's visible
+//! length — and commits run in the same cycle, with the same per-(port,
+//! VC) FIFO order, as the reference arrivals; and (b) batching only
+//! reorders deliveries *across* routers, whose state is disjoint
+//! (same-cycle arrivals at one router always target distinct input
+//! ports — a link carries at most one flit per cycle). Ejections are the
+//! exception: they accumulate floating-point latency statistics, whose
+//! summation order must not change, so they always travel as materialized
+//! records and are sampled in FIFO order in both modes.
 
 use crate::active::ActiveSet;
-use crate::delivery::{CreditDelivery, DeliveryQueues, FlitDelivery};
+use crate::delivery::{ArrivalEvent, CreditDelivery, DeliveryQueues, EjectRecord, FlitDelivery};
 use crate::messages::{MessageRecord, MessageStore};
 use crate::nic::Nic;
 use lapses_core::router::RouterStats;
@@ -67,6 +97,8 @@ pub struct CycleSummary {
 /// protocol live in [`crate::experiment`].
 pub struct Network {
     mesh: Mesh,
+    /// Cached `mesh.ports_per_router()` for the per-visit hot path.
+    ports: usize,
     routers: Vec<Router>,
     nics: Vec<Nic>,
     queues: DeliveryQueues,
@@ -82,8 +114,6 @@ pub struct Network {
     /// Total latency (generation → tail ejection) of measured messages.
     total_latency: RunningStats,
     histogram: Histogram,
-    /// Flits launched per (node, port), for link-utilization reports.
-    link_flits: Vec<u64>,
     /// Downstream node per `(node, direction port)` — `u32::MAX` for edge
     /// ports. Precomputed so the per-launch hot path never re-derives
     /// coordinates.
@@ -93,6 +123,11 @@ pub struct Network {
     /// Whether `step` walks the active sets (true) or scans every
     /// component (false). Both modes produce bit-identical results.
     active_scheduling: bool,
+    /// Whether link arrivals use the zero-copy wire with per-router
+    /// batched commits (true) or materialized flit-at-a-time delivery in
+    /// FIFO order (false). Both modes produce bit-identical results (see
+    /// the module docs).
+    batched_delivery: bool,
     /// Routers currently holding flits (see the module docs).
     router_active: ActiveSet,
     /// NICs with injectable work (see the module docs).
@@ -105,9 +140,23 @@ pub struct Network {
     /// O(1) [`Network::backlog`].
     backlog_msgs: u64,
     /// Reused per-cycle scratch buffers (hot-loop allocation avoidance).
-    scratch_flits: std::collections::VecDeque<FlitDelivery>,
-    scratch_credits: std::collections::VecDeque<CreditDelivery>,
+    scratch_flits: Vec<FlitDelivery>,
+    scratch_events: Vec<ArrivalEvent>,
+    scratch_ejects: Vec<EjectRecord>,
+    scratch_credits: Vec<CreditDelivery>,
+    /// Per node: (first, last) chained arrival index this cycle, kept as
+    /// one pair so each arrival touches a single cache location
+    /// (`NONE` when the node has no chain).
+    batch_link: Vec<(u32, u32)>,
+    /// Per arrival index: next arrival bound for the same router.
+    batch_next: Vec<u32>,
+    /// Nodes with at least one chained arrival this cycle, in
+    /// first-arrival order.
+    batch_touched: Vec<u32>,
 }
+
+/// Sentinel for the delivery-batching chain links.
+const NONE: u32 = u32::MAX;
 
 /// The network's implementation of [`StepSink`]: launches and credits go
 /// straight from the router pipeline stages onto the wires — no staging
@@ -116,8 +165,15 @@ struct WireSink<'a> {
     now: Cycle,
     node: usize,
     ports: usize,
+    /// Whether launches write their payload straight into the destination
+    /// router's input arena (the zero-copy wire) or materialize a
+    /// [`FlitDelivery`] on the ring (the reference path).
+    direct: bool,
+    /// The routers before / after the one being stepped (disjoint
+    /// borrows), so a launch can reserve the downstream input slot.
+    left: &'a mut [Router],
+    right: &'a mut [Router],
     queues: &'a mut DeliveryQueues,
-    link_flits: &'a mut [u64],
     neighbors: &'a [u32],
     nics: &'a mut [Nic],
     nic_active: &'a mut ActiveSet,
@@ -128,34 +184,84 @@ impl StepSink for WireSink<'_> {
     #[inline]
     fn launch(&mut self, port: Port, vc: usize, flit: Flit) {
         *self.router_flits -= 1;
-        self.link_flits[self.node * self.ports + port.index()] += 1;
         match port.direction() {
             None => {
-                // Ejection channel toward the local NIC.
-                self.queues.send_flit(
-                    self.now,
-                    FlitDelivery {
-                        node: NodeId(self.node as u32),
-                        port: Port::LOCAL,
-                        vc,
-                        flit,
-                    },
-                );
+                // Ejection channel toward the local NIC: the sink only
+                // samples statistics, so the zero-copy wire ships the
+                // message handle + kind instead of the whole flit.
+                if self.direct {
+                    self.queues.send_eject(
+                        self.now,
+                        EjectRecord {
+                            rec: flit.rec,
+                            kind: flit.kind,
+                        },
+                    );
+                } else {
+                    self.queues.send_flit(
+                        self.now,
+                        FlitDelivery {
+                            flit,
+                            node: NodeId(self.node as u32),
+                            port: Port::LOCAL,
+                            vc: vc as u8,
+                        },
+                    );
+                }
             }
             Some(dir) => {
+                // Buffered (reference) protocol: a full delivery record
+                // rides the ring. The zero-copy wire never reaches this
+                // arm for neighbor traffic — it transfers payloads at XB
+                // time and announces launches via `launch_reserved`.
                 let neighbor = self.neighbors[self.node * self.ports + port.index()];
                 debug_assert_ne!(neighbor, u32::MAX, "launch over a missing link");
                 self.queues.send_flit(
                     self.now,
                     FlitDelivery {
+                        flit,
                         node: NodeId(neighbor),
                         port: Port::from(dir.opposite()),
-                        vc,
-                        flit,
+                        vc: vc as u8,
                     },
                 );
             }
         }
+    }
+
+    #[inline]
+    fn direct(&self) -> bool {
+        self.direct
+    }
+
+    #[inline]
+    fn transfer(&mut self, out_port: Port, vc: usize, flit: Flit) {
+        // Zero-copy wire, XB time: the payload goes straight to the input
+        // ring slot it will occupy at the downstream router.
+        let neighbor = self.neighbors[self.node * self.ports + out_port.index()];
+        debug_assert_ne!(neighbor, u32::MAX, "transfer over a missing link");
+        let dir = out_port.direction().expect("transfer is never local");
+        let n = neighbor as usize;
+        let downstream = if n < self.node {
+            &mut self.left[n]
+        } else {
+            &mut self.right[n - self.node - 1]
+        };
+        downstream.reserve_flit(Port::from(dir.opposite()), vc, flit);
+    }
+
+    #[inline]
+    fn launch_reserved(&mut self, port: Port, vc: usize) {
+        // Zero-copy wire, VM time: the payload is already downstream;
+        // only a packed 4-byte arrival event rides the delay ring.
+        *self.router_flits -= 1;
+        let neighbor = self.neighbors[self.node * self.ports + port.index()];
+        debug_assert_ne!(neighbor, u32::MAX, "launch over a missing link");
+        let dir = port.direction().expect("reserved launches are never local");
+        self.queues.send_event(
+            self.now,
+            ArrivalEvent::new(NodeId(neighbor), Port::from(dir.opposite()), vc as u8),
+        );
     }
 
     #[inline]
@@ -171,11 +277,7 @@ impl StepSink for WireSink<'_> {
                 debug_assert_ne!(upstream, u32::MAX, "credit over a missing link");
                 self.queues.send_credit(
                     self.now,
-                    CreditDelivery {
-                        node: NodeId(upstream),
-                        port: Port::from(dir.opposite()),
-                        vc,
-                    },
+                    CreditDelivery::new(NodeId(upstream), Port::from(dir.opposite()), vc as u8),
                 );
             }
         }
@@ -207,6 +309,10 @@ impl Network {
             program.mesh(),
             &mesh,
             "table program compiled for a different topology"
+        );
+        assert!(
+            mesh.node_count() < 1 << 22,
+            "mesh exceeds the packed wire-address budget"
         );
         router_cfg.validate();
         let mut rng = SimRng::from_seed(seed);
@@ -264,6 +370,7 @@ impl Network {
             }
         }
         Network {
+            ports,
             routers,
             nics,
             // A flit launched by the VC mux spends `link_delay` cycles on
@@ -279,17 +386,22 @@ impl Network {
             latency: RunningStats::new(),
             total_latency: RunningStats::new(),
             histogram: Histogram::new(4.0, 2048),
-            link_flits: vec![0; node_count * ports],
             neighbors,
             cycles_run: 0,
             measured_flits_ejected: 0,
             active_scheduling: true,
+            batched_delivery: true,
             router_active: ActiveSet::new(node_count),
             nic_active: ActiveSet::new(node_count),
             router_flits: 0,
             backlog_msgs: 0,
-            scratch_flits: std::collections::VecDeque::new(),
-            scratch_credits: std::collections::VecDeque::new(),
+            scratch_flits: Vec::new(),
+            scratch_events: Vec::new(),
+            scratch_ejects: Vec::new(),
+            scratch_credits: Vec::new(),
+            batch_link: vec![(NONE, NONE); node_count],
+            batch_next: Vec::new(),
+            batch_touched: Vec::new(),
             mesh,
         }
     }
@@ -309,6 +421,30 @@ impl Network {
     /// Whether the active-set scheduler is in use.
     pub fn active_scheduling(&self) -> bool {
         self.active_scheduling
+    }
+
+    /// Switches the zero-copy wire + batched delivery on or off. Both
+    /// modes are bit-identical (materialized per-flit delivery exists for
+    /// differential testing and profiling).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mode actually changes while traffic is in flight:
+    /// under the zero-copy wire, staged flits have already parked their
+    /// payload downstream at crossbar time, so the launch protocol cannot
+    /// switch under them. Select the mode before offering messages (or
+    /// after a drain).
+    pub fn set_batched_delivery(&mut self, enabled: bool) {
+        assert!(
+            enabled == self.batched_delivery || !self.has_traffic(),
+            "delivery mode can only change while the network is quiescent"
+        );
+        self.batched_delivery = enabled;
+    }
+
+    /// Whether link arrivals use the zero-copy wire with batched commits.
+    pub fn batched_delivery(&self) -> bool {
+        self.batched_delivery
     }
 
     /// Queues a message at its source NIC. Look-ahead headers get the
@@ -373,40 +509,40 @@ impl Network {
         }
 
         // 2. Arrivals due this cycle (swapped out of the ring bucket, not
-        //    copied). Flit deliveries wake their routers.
+        //    copied). Flit deliveries wake their routers; with batching on
+        //    they are grouped by destination router first (see the module
+        //    docs for why both orders are bit-identical).
         let mut flits = std::mem::take(&mut self.scratch_flits);
         self.queues.swap_flits(now, &mut flits);
-        for d in flits.drain(..) {
-            if d.port.is_local() {
-                // Ejected into the NIC sink.
-                let rec = *self.messages.get(d.flit.rec);
-                if rec.measured {
-                    self.measured_flits_ejected += 1;
-                }
-                if d.flit.kind.is_tail() {
-                    if rec.measured {
-                        let net_latency = now.duration_since(rec.injected_at) as f64;
-                        let total = now.duration_since(rec.created_at) as f64;
-                        self.latency.record(net_latency);
-                        self.total_latency.record(total);
-                        self.histogram.record(net_latency);
-                        summary.measured_deliveries += 1;
-                    }
-                    self.messages.retire(d.flit.rec);
-                }
-                summary.moved = true;
-            } else {
-                let node = d.node.index();
-                self.routers[node].accept_flit(d.port, d.vc, d.flit, now);
-                self.router_flits += 1;
-                self.router_active.insert(node);
+        for d in &flits {
+            self.deliver_per_flit(d, now, &mut summary);
+        }
+        flits.clear();
+        self.scratch_flits = flits;
+        let mut ejects = std::mem::take(&mut self.scratch_ejects);
+        self.queues.swap_ejects(now, &mut ejects);
+        for e in &ejects {
+            self.eject(e.rec, e.kind, now, &mut summary);
+        }
+        ejects.clear();
+        self.scratch_ejects = ejects;
+        let mut events = std::mem::take(&mut self.scratch_events);
+        self.queues.swap_events(now, &mut events);
+        if self.batched_delivery {
+            self.commit_batched(&events, now);
+        } else {
+            // Only reachable when batching was toggled off mid-run with
+            // reserved flits still on the wire.
+            for e in &events {
+                self.commit_one(*e, now);
             }
         }
-        self.scratch_flits = flits;
+        events.clear();
+        self.scratch_events = events;
         let mut credits = std::mem::take(&mut self.scratch_credits);
         self.queues.swap_credits(now, &mut credits);
         for c in credits.drain(..) {
-            self.routers[c.node.index()].accept_credit(c.port, c.vc);
+            self.routers[c.node()].accept_credit(c.port(), c.vc());
         }
         self.scratch_credits = credits;
 
@@ -431,18 +567,115 @@ impl Network {
         summary
     }
 
+    /// Delivers one link arrival: ejections are sampled into the latency
+    /// statistics, router-bound flits land in their input buffer and wake
+    /// the router.
+    #[inline]
+    fn deliver_per_flit(&mut self, d: &FlitDelivery, now: Cycle, summary: &mut CycleSummary) {
+        if d.port.is_local() {
+            self.eject(d.flit.rec, d.flit.kind, now, summary);
+        } else {
+            let node = d.node.index();
+            self.routers[node].accept_flit(d.port, d.vc as usize, d.flit, now);
+            self.router_flits += 1;
+            self.router_active.insert(node);
+        }
+    }
+
+    /// Commits one arrival event: the reserved payload becomes visible
+    /// and the router wakes.
+    #[inline]
+    fn commit_one(&mut self, e: ArrivalEvent, now: Cycle) {
+        let node = e.node();
+        self.routers[node].commit_flit(e.port(), e.vc(), now);
+        self.router_flits += 1;
+        self.router_active.insert(node);
+    }
+
+    /// Commits a cycle's arrival events as per-router batches: one
+    /// chaining pass buckets them by destination router, then each
+    /// touched router commits its whole batch back-to-back and has its
+    /// wake-up bit set once.
+    fn commit_batched(&mut self, events: &[ArrivalEvent], now: Cycle) {
+        if self.batch_next.len() < events.len() {
+            self.batch_next.resize(events.len(), NONE);
+        }
+        for (i, e) in events.iter().enumerate() {
+            let node = e.node();
+            let i = i as u32;
+            let link = &mut self.batch_link[node];
+            if link.1 == NONE {
+                link.0 = i;
+                self.batch_touched.push(node as u32);
+            } else {
+                self.batch_next[link.1 as usize] = i;
+            }
+            link.1 = i;
+            self.batch_next[i as usize] = NONE;
+        }
+        let mut touched = std::mem::take(&mut self.batch_touched);
+        for &node in &touched {
+            let node = node as usize;
+            let mut i = self.batch_link[node].0;
+            self.batch_link[node] = (NONE, NONE);
+            let router = &mut self.routers[node];
+            let mut delivered = 0u64;
+            while i != NONE {
+                let e = events[i as usize];
+                router.commit_flit(e.port(), e.vc(), now);
+                delivered += 1;
+                i = self.batch_next[i as usize];
+            }
+            self.router_flits += delivered;
+            self.router_active.insert(node);
+        }
+        touched.clear();
+        self.batch_touched = touched;
+    }
+
+    /// Ejection into the NIC sink: samples measured tails into the
+    /// latency statistics and retires the message record.
+    #[inline]
+    fn eject(
+        &mut self,
+        handle: lapses_core::MsgRef,
+        kind: lapses_core::FlitKind,
+        now: Cycle,
+        summary: &mut CycleSummary,
+    ) {
+        let rec = *self.messages.get(handle);
+        if rec.measured {
+            self.measured_flits_ejected += 1;
+        }
+        if kind.is_tail() {
+            if rec.measured {
+                let net_latency = now.duration_since(rec.injected_at) as f64;
+                let total = now.duration_since(rec.created_at) as f64;
+                self.latency.record(net_latency);
+                self.total_latency.record(total);
+                self.histogram.record(net_latency);
+                summary.measured_deliveries += 1;
+            }
+            self.messages.retire(handle);
+        }
+        summary.moved = true;
+    }
+
     /// Steps one router, streaming its launches and credits onto the
     /// wires as the stages produce them ([`WireSink`]). Clears the
     /// router's active bit once it holds no flits.
     fn step_router(&mut self, node: usize, now: Cycle, summary: &mut CycleSummary) {
-        let ports = self.mesh.ports_per_router();
-        let router = &mut self.routers[node];
+        let ports = self.ports;
+        let (left, rest) = self.routers.split_at_mut(node);
+        let (router, right) = rest.split_first_mut().expect("node index in range");
         let mut sink = WireSink {
             now,
             node,
             ports,
+            direct: self.batched_delivery,
+            left,
+            right,
             queues: &mut self.queues,
-            link_flits: &mut self.link_flits,
             neighbors: &self.neighbors,
             nics: &mut self.nics,
             nic_active: &mut self.nic_active,
@@ -581,10 +814,12 @@ impl Network {
     /// analysis (e.g. the meta-table cluster-boundary congestion).
     pub fn link_loads(&self) -> impl Iterator<Item = (NodeId, Port, u64)> + '_ {
         let ports = self.mesh.ports_per_router();
-        self.link_flits
-            .iter()
-            .enumerate()
-            .map(move |(i, &f)| (NodeId((i / ports) as u32), Port::from_index(i % ports), f))
+        self.routers.iter().flat_map(move |r| {
+            (0..ports).map(move |p| {
+                let port = Port::from_index(p);
+                (r.node(), port, r.link_flits(port))
+            })
+        })
     }
 }
 
@@ -729,6 +964,69 @@ mod tests {
         assert_eq!(on.router_stats(), off.router_stats());
         on.assert_quiescent();
         off.assert_quiescent();
+    }
+
+    /// Steps `a` and `b` in lockstep and requires identical per-cycle
+    /// summaries, traffic flags, final statistics and quiescence.
+    fn assert_lockstep_identical(mut a: Network, mut b: Network, cycles: u64) {
+        for t in 0..cycles {
+            let sa = a.step(Cycle::new(t));
+            let sb = b.step(Cycle::new(t));
+            assert_eq!(sa.measured_deliveries, sb.measured_deliveries, "cycle {t}");
+            assert_eq!(sa.moved, sb.moved, "cycle {t}");
+            assert_eq!(a.has_traffic(), b.has_traffic(), "cycle {t}");
+        }
+        assert!(!a.has_traffic(), "traffic should have drained");
+        assert_eq!(a.latency().mean(), b.latency().mean());
+        assert_eq!(a.latency().count(), b.latency().count());
+        assert_eq!(a.router_stats(), b.router_stats());
+        a.assert_quiescent();
+        b.assert_quiescent();
+    }
+
+    fn loaded_net(configure: impl Fn(&mut Network), lookahead: bool) -> Network {
+        let mut net = small_net(RouterConfig::paper_adaptive().with_lookahead(lookahead));
+        configure(&mut net);
+        let mesh = net.mesh().clone();
+        for src in mesh.nodes() {
+            let dest = NodeId((src.0 * 11 + 3) % 16);
+            if dest != src {
+                net.offer_message(src, dest, 8, Cycle::ZERO, true);
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn batched_delivery_matches_per_flit_cycle_for_cycle() {
+        for lookahead in [false, true] {
+            let on = loaded_net(|n| n.set_batched_delivery(true), lookahead);
+            let off = loaded_net(|n| n.set_batched_delivery(false), lookahead);
+            assert_lockstep_identical(on, off, 3_000);
+        }
+    }
+
+    #[test]
+    fn fused_pipeline_matches_staged_cycle_for_cycle() {
+        for lookahead in [false, true] {
+            let fused = small_net(RouterConfig::paper_adaptive().with_lookahead(lookahead));
+            let staged = small_net(
+                RouterConfig::paper_adaptive()
+                    .with_lookahead(lookahead)
+                    .with_fused_pipeline(false),
+            );
+            let load = |mut net: Network| {
+                let mesh = net.mesh().clone();
+                for src in mesh.nodes() {
+                    let dest = NodeId((src.0 * 11 + 3) % 16);
+                    if dest != src {
+                        net.offer_message(src, dest, 8, Cycle::ZERO, true);
+                    }
+                }
+                net
+            };
+            assert_lockstep_identical(load(fused), load(staged), 3_000);
+        }
     }
 
     #[test]

@@ -3,6 +3,28 @@
 use lapses_core::Flit;
 use std::collections::VecDeque;
 
+/// One injection virtual channel: the message currently streaming into
+/// the router on this VC plus its credit pool, kept together so the
+/// per-cycle injection scan touches one contiguous record per VC instead
+/// of parallel arrays in separate allocations.
+#[derive(Debug)]
+struct InjectVc {
+    /// Flits of the streaming message; drained front-to-back via `sent`.
+    flits: Vec<Flit>,
+    /// Flits already handed to the router.
+    sent: u32,
+    /// Credits for the router's local input buffer on this VC.
+    credits: u32,
+}
+
+impl InjectVc {
+    /// Whether the previous message has fully streamed (VC free to bind).
+    #[inline]
+    fn is_drained(&self) -> bool {
+        self.sent as usize == self.flits.len()
+    }
+}
+
 /// The per-node network interface.
 ///
 /// Holds an unbounded source queue of generated messages (source queueing
@@ -26,10 +48,8 @@ use std::collections::VecDeque;
 pub(crate) struct Nic {
     /// Messages waiting for a free injection VC (flits pre-built).
     source_queue: VecDeque<Vec<Flit>>,
-    /// Per-VC: remaining flits of the message streaming into that VC.
-    injecting: Vec<VecDeque<Flit>>,
-    /// Per-VC credits for the router's local input buffers.
-    credits: Vec<u32>,
+    /// Per-VC streaming state and credits.
+    lanes: Vec<InjectVc>,
     /// Round-robin pointers for VC assignment and injection.
     assign_next: usize,
     inject_next: usize,
@@ -44,8 +64,13 @@ impl Nic {
         assert!(vcs > 0, "NIC needs at least one VC");
         Nic {
             source_queue: VecDeque::new(),
-            injecting: (0..vcs).map(|_| VecDeque::new()).collect(),
-            credits: vec![buffer_depth as u32; vcs],
+            lanes: (0..vcs)
+                .map(|_| InjectVc {
+                    flits: Vec::new(),
+                    sent: 0,
+                    credits: buffer_depth as u32,
+                })
+                .collect(),
             assign_next: 0,
             inject_next: 0,
             injected_messages: 0,
@@ -69,30 +94,48 @@ impl Nic {
     /// message has fully streamed), then one flit across all VCs is
     /// released, subject to credits.
     pub fn inject(&mut self) -> Option<(usize, Flit)> {
-        let vcs = self.injecting.len();
+        let vcs = self.lanes.len();
         // Bind the next waiting message to a free VC.
         if !self.source_queue.is_empty() {
-            for off in 0..vcs {
-                let vc = (self.assign_next + off) % vcs;
-                if self.injecting[vc].is_empty() {
+            let mut vc = self.assign_next;
+            for _ in 0..vcs {
+                if self.lanes[vc].is_drained() {
                     let flits = self.source_queue.pop_front().expect("non-empty");
-                    self.injecting[vc] = flits.into();
-                    self.assign_next = (vc + 1) % vcs;
+                    let lane = &mut self.lanes[vc];
+                    lane.flits = flits;
+                    lane.sent = 0;
+                    self.assign_next = vc + 1;
+                    if self.assign_next == vcs {
+                        self.assign_next = 0;
+                    }
                     break;
+                }
+                vc += 1;
+                if vc == vcs {
+                    vc = 0;
                 }
             }
         }
         // One flit per cycle across all VCs, subject to credits.
-        for off in 0..vcs {
-            let vc = (self.inject_next + off) % vcs;
-            if self.credits[vc] > 0 && !self.injecting[vc].is_empty() {
-                let flit = self.injecting[vc].pop_front().expect("non-empty");
-                self.credits[vc] -= 1;
+        let mut vc = self.inject_next;
+        for _ in 0..vcs {
+            let lane = &mut self.lanes[vc];
+            if lane.credits > 0 && !lane.is_drained() {
+                let flit = lane.flits[lane.sent as usize];
+                lane.sent += 1;
+                lane.credits -= 1;
                 if flit.kind.is_tail() {
                     self.injected_messages += 1;
                 }
-                self.inject_next = (vc + 1) % vcs;
+                self.inject_next = vc + 1;
+                if self.inject_next == vcs {
+                    self.inject_next = 0;
+                }
                 return Some((vc, flit));
+            }
+            vc += 1;
+            if vc == vcs {
+                vc = 0;
             }
         }
         None
@@ -100,7 +143,7 @@ impl Nic {
 
     /// Credit returned by the router for local input VC `vc`.
     pub fn credit(&mut self, vc: usize) {
-        self.credits[vc] += 1;
+        self.lanes[vc].credits += 1;
     }
 
     /// Whether a call to [`Nic::inject`] could make progress: either a
@@ -108,20 +151,19 @@ impl Nic {
     /// holds flits and credits. When this is false the NIC is frozen until
     /// the next [`Nic::enqueue`] or [`Nic::credit`].
     pub fn has_injectable(&self) -> bool {
-        if !self.source_queue.is_empty() && self.injecting.iter().any(VecDeque::is_empty) {
+        if !self.source_queue.is_empty() && self.lanes.iter().any(InjectVc::is_drained) {
             return true;
         }
-        self.injecting
+        self.lanes
             .iter()
-            .zip(&self.credits)
-            .any(|(q, &credits)| credits > 0 && !q.is_empty())
+            .any(|lane| lane.credits > 0 && !lane.is_drained())
     }
 
     /// Messages generated but not yet fully streamed into the router
     /// (the ground truth behind the network's O(1) backlog counter).
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn backlog(&self) -> usize {
-        self.source_queue.len() + self.injecting.iter().filter(|q| !q.is_empty()).count()
+        self.source_queue.len() + self.lanes.iter().filter(|l| !l.is_drained()).count()
     }
 
     /// Messages whose tail has entered the router.
@@ -132,7 +174,7 @@ impl Nic {
 
     /// Whether the NIC holds no pending traffic.
     pub fn is_idle(&self) -> bool {
-        self.source_queue.is_empty() && self.injecting.iter().all(VecDeque::is_empty)
+        self.source_queue.is_empty() && self.lanes.iter().all(InjectVc::is_drained)
     }
 }
 

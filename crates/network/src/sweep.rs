@@ -16,6 +16,20 @@
 //!   its first saturated point, so racing workers can only change how much
 //!   wasted work is avoided, never the report.
 //!
+//! # Work stealing
+//!
+//! Points are *not* handed out in grid order. The runner sorts them into a
+//! shared longest-expected-first queue (higher offered load ⇒ more flits
+//! in flight per cycle ⇒ more wall time per simulated cycle, so higher
+//! load runs earlier; ties fall back to grid order) and every idle worker
+//! steals the longest remaining point. This is classic LPT scheduling: the
+//! grid's makespan is set by its most expensive points, so starting them
+//! first lets the short points pack the tail instead of the whole sweep
+//! serializing behind one saturated point that was handed out last.
+//! Stealing order is pure scheduling — seeds are positional and results
+//! are slotted by grid index — so the report stays bit-identical across
+//! any thread count (enforced by the `sweep_runner` integration tests).
+//!
 //! # Example
 //!
 //! ```
@@ -182,6 +196,11 @@ impl SweepRunner {
         let jobs: Vec<Job> = self.plan(grid);
         let n = jobs.len();
 
+        // The shared steal queue: grid indices ordered longest-expected-
+        // first (see the module docs). The order only affects scheduling,
+        // never the report — seeds and result slots are positional.
+        let steal_order = self.steal_order(&jobs);
+
         // Per-series lowest position that saturated, for cut-off skipping.
         let series_count = jobs.iter().map(|j| j.series_id + 1).max().unwrap_or(0);
         let sat_floor: Vec<AtomicUsize> = (0..series_count)
@@ -193,10 +212,11 @@ impl SweepRunner {
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(n.max(1)) {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let pos = next.fetch_add(1, Ordering::Relaxed);
+                    if pos >= n {
                         break;
                     }
+                    let i = steal_order[pos];
                     let job = &jobs[i];
                     if self.cutoff == CutoffPolicy::TruncateAtSaturation
                         && sat_floor[job.series_id].load(Ordering::Acquire) < job.series_pos
@@ -213,6 +233,28 @@ impl SweepRunner {
         });
 
         self.aggregate(grid, jobs, slots)
+    }
+
+    /// The deterministic steal order: grid indices sorted by expected
+    /// cost, longest first. The estimate is `load × injected messages ×
+    /// nodes` — higher load means more flits in flight (and saturated
+    /// points run all the way to the backlog watchdog), more messages and
+    /// bigger meshes mean more work per cycle. Ties keep grid order, so
+    /// the order is a total one and identical on every run.
+    fn steal_order(&self, jobs: &[Job]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        let cost = |j: &Job| {
+            j.config.load
+                * (j.config.warmup_msgs + j.config.measure_msgs) as f64
+                * j.config.mesh.node_count() as f64
+        };
+        order.sort_by(|&a, &b| {
+            cost(&jobs[b])
+                .partial_cmp(&cost(&jobs[a]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
     }
 
     /// Resolves per-point seeds and series bookkeeping.
@@ -338,6 +380,20 @@ mod tests {
         let grid = SweepGrid::new().series("a", tiny(Pattern::Uniform).with_seed(4242), &[0.1]);
         let jobs = SweepRunner::new().plan(&grid);
         assert_eq!(jobs[0].config.seed, 4242);
+    }
+
+    #[test]
+    fn steal_order_is_longest_expected_first_with_stable_ties() {
+        let base = tiny(Pattern::Uniform);
+        let grid = SweepGrid::new()
+            .point("a", 0.1, base.clone().with_load(0.1))
+            .point("a", 0.4, base.clone().with_load(0.4))
+            .point("a", 0.2, base.clone().with_load(0.2))
+            .point("b", 0.2, base.clone().with_load(0.2));
+        let runner = SweepRunner::new();
+        let jobs = runner.plan(&grid);
+        // Highest load first; the two 0.2 points tie and keep grid order.
+        assert_eq!(runner.steal_order(&jobs), vec![1, 2, 3, 0]);
     }
 
     #[test]

@@ -1,22 +1,33 @@
-//! The activity-tracked scheduler must be invisible in the results: a
-//! sweep over all four paper traffic patterns, several loads, and both
-//! pipelines (PROUD and LA-PROUD) has to produce a **bit-identical**
-//! `SweepReport` with the active-set scheduler forced on vs forced off.
+//! The cycle loop's performance machinery must be invisible in the
+//! results. Three independent optimizations each have a reference path,
+//! and a sweep over all four paper traffic patterns, several loads, and
+//! both pipelines (PROUD and LA-PROUD) has to produce a **bit-identical**
+//! `SweepReport` with each optimization forced on vs forced off:
 //!
-//! This is the acceptance test for the scheduler's core invariant (see
-//! the `lapses_network::network` module docs): skipped components are
-//! exactly the ones whose step would be a no-op, so every RNG draw,
-//! arbitration decision and latency sample is unchanged.
+//! * the activity-tracked scheduler vs scanning every component
+//!   (`SimConfig::with_active_scheduling`);
+//! * the fused single-pass router walk vs the staged reference walk
+//!   (`SimConfig::with_fused_pipeline`);
+//! * batched per-router link delivery vs flit-at-a-time delivery
+//!   (`SimConfig::with_batched_delivery`).
+//!
+//! These are the acceptance tests for the core invariants (see the
+//! `lapses_network::network` and `lapses_core::router` module docs):
+//! skipped components are exactly the no-op ones, the fused walk makes
+//! the same decisions in the same order as the staged stages, and
+//! batching only reorders deliveries across disjoint routers — so every
+//! RNG draw, arbitration decision and latency sample is unchanged.
 
 use lapses_network::{Pattern, SimConfig, SweepGrid, SweepReport, SweepRunner};
 
-fn grid(active_scheduling: bool) -> SweepGrid {
+fn grid(configure: impl Fn(SimConfig) -> SimConfig) -> SweepGrid {
     let mut grid = SweepGrid::new();
     for lookahead in [false, true] {
-        let base = SimConfig::paper_adaptive(8, 8)
-            .with_lookahead(lookahead)
-            .with_active_scheduling(active_scheduling)
-            .with_message_counts(100, 700);
+        let base = configure(
+            SimConfig::paper_adaptive(8, 8)
+                .with_lookahead(lookahead)
+                .with_message_counts(100, 700),
+        );
         let tag = if lookahead { "la" } else { "proud" };
         for pattern in Pattern::PAPER_FOUR {
             grid = grid.series(
@@ -29,23 +40,19 @@ fn grid(active_scheduling: bool) -> SweepGrid {
     grid
 }
 
-fn run(active_scheduling: bool) -> SweepReport {
+fn run(configure: impl Fn(SimConfig) -> SimConfig) -> SweepReport {
     SweepRunner::new()
         .with_threads(2)
         .with_master_seed(424242)
-        .run(&grid(active_scheduling))
+        .run(&grid(configure))
 }
 
-#[test]
-fn active_set_scheduler_is_bit_identical_to_always_step() {
-    let on = run(true);
-    let off = run(false);
-    assert_eq!(on, off, "scheduler changed simulated behavior");
-
-    // The comparison must not be vacuous: both pipelines, all four
-    // patterns, every point unsaturated with real latency samples.
-    assert_eq!(on.series().len(), 8);
-    for series in on.series() {
+/// Asserts the report covers both pipelines and all four patterns with
+/// real, unsaturated data — the equivalence comparison must not be
+/// vacuous.
+fn assert_full_coverage(report: &SweepReport) {
+    assert_eq!(report.series().len(), 8);
+    for series in report.series() {
         assert_eq!(series.points.len(), 2, "{} truncated", series.label);
         for (load, r) in &series.points {
             assert!(!r.saturated, "{} saturated at {load}", series.label);
@@ -56,19 +63,74 @@ fn active_set_scheduler_is_bit_identical_to_always_step() {
 }
 
 #[test]
+fn active_set_scheduler_is_bit_identical_to_always_step() {
+    let on = run(|c| c.with_active_scheduling(true));
+    let off = run(|c| c.with_active_scheduling(false));
+    assert_eq!(on, off, "scheduler changed simulated behavior");
+    assert_full_coverage(&on);
+}
+
+#[test]
+fn fused_pipeline_is_bit_identical_to_staged_walk() {
+    let fused = run(|c| c.with_fused_pipeline(true));
+    let staged = run(|c| c.with_fused_pipeline(false));
+    assert_eq!(fused, staged, "stage fusion changed simulated behavior");
+    assert_full_coverage(&fused);
+}
+
+#[test]
+fn batched_delivery_is_bit_identical_to_per_flit_delivery() {
+    let batched = run(|c| c.with_batched_delivery(true));
+    let per_flit = run(|c| c.with_batched_delivery(false));
+    assert_eq!(
+        batched, per_flit,
+        "delivery batching changed simulated behavior"
+    );
+    assert_full_coverage(&batched);
+}
+
+#[test]
+fn all_reference_paths_together_match_the_full_fast_path() {
+    // The three reference paths compose: everything off at once still
+    // reproduces the default configuration bit for bit.
+    let fast = run(|c| c);
+    let reference = run(|c| {
+        c.with_active_scheduling(false)
+            .with_fused_pipeline(false)
+            .with_batched_delivery(false)
+    });
+    assert_eq!(fast, reference, "composed reference paths diverged");
+    assert_full_coverage(&fast);
+}
+
+#[test]
 fn scheduler_equivalence_holds_under_saturation() {
     // Saturated points exercise the watchdog/backlog paths (the O(1)
-    // counters) — the cut-off decision must not shift by a cycle.
-    let run = |scheduling: bool| {
-        SimConfig::paper_adaptive(4, 4)
-            .with_message_counts(200, 1_500)
-            .with_active_scheduling(scheduling)
-            .with_load(3.0)
-            .with_seed(77)
-            .run()
+    // counters) — the cut-off decision must not shift by a cycle for any
+    // of the three optimization axes.
+    let run = |configure: &dyn Fn(SimConfig) -> SimConfig| {
+        configure(
+            SimConfig::paper_adaptive(4, 4)
+                .with_message_counts(200, 1_500)
+                .with_load(3.0)
+                .with_seed(77),
+        )
+        .run()
     };
-    let on = run(true);
-    let off = run(false);
-    assert!(on.saturated, "overload point should saturate");
-    assert_eq!(on, off, "saturation cut-off shifted");
+    let fast = run(&|c| c);
+    assert!(fast.saturated, "overload point should saturate");
+    for (name, configure) in [
+        (
+            "scheduler",
+            &(|c: SimConfig| c.with_active_scheduling(false)) as &dyn Fn(SimConfig) -> SimConfig,
+        ),
+        ("fused", &|c: SimConfig| c.with_fused_pipeline(false)),
+        ("batched", &|c: SimConfig| c.with_batched_delivery(false)),
+    ] {
+        assert_eq!(
+            fast,
+            run(configure),
+            "{name} shifted the saturation cut-off"
+        );
+    }
 }

@@ -112,6 +112,46 @@ fn saturation_cutoff_propagates_to_the_report() {
 }
 
 #[test]
+fn work_stealing_keeps_reports_bit_identical_across_thread_counts() {
+    // The work-stealing schedule is exercised hardest by a skewed grid:
+    // one long saturated point (it runs all the way to the backlog
+    // watchdog) next to many short low-load points. Whatever order the
+    // workers steal in, the report must be bit-identical across 1, 2 and
+    // 8 threads — and the saturated series must still truncate correctly.
+    let short = SimConfig::paper_adaptive(4, 4).with_message_counts(50, 300);
+    let long = SimConfig::paper_adaptive(8, 8).with_message_counts(300, 6_000);
+    let mut grid = SweepGrid::new().series("saturated", long, &[3.0]);
+    for i in 0..6 {
+        grid = grid.series(
+            format!("short-{i}"),
+            short.clone().with_pattern(Pattern::PAPER_FOUR[i % 4]),
+            &[0.1, 0.15],
+        );
+    }
+
+    let reports: Vec<_> = [1, 2, 8]
+        .into_iter()
+        .map(|threads| {
+            SweepRunner::new()
+                .with_threads(threads)
+                .with_master_seed(31337)
+                .run(&grid)
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "2 threads changed the report");
+    assert_eq!(reports[0], reports[2], "8 threads changed the report");
+
+    // Not vacuous: the long point saturated, the short ones all ran.
+    let report = &reports[0];
+    assert_eq!(report.series().len(), 7);
+    assert!(report.series()[0].points[0].1.saturated);
+    for s in &report.series()[1..] {
+        assert_eq!(s.points.len(), 2, "{} truncated", s.label);
+        assert!(s.points.iter().all(|(_, r)| !r.saturated));
+    }
+}
+
+#[test]
 fn smoke_sweep_covers_all_four_paper_patterns_on_8x8() {
     let mut grid = SweepGrid::new();
     for pattern in Pattern::PAPER_FOUR {
