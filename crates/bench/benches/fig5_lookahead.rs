@@ -10,33 +10,51 @@
 //! slightly at high load; on the three non-uniform patterns the adaptive
 //! routers win decisively at high load.
 
-use lapses_bench::{paper_loads, with_bench_counts, Table};
-use lapses_network::{Pattern, SimConfig, SimResult, SweepGrid, SweepRunner};
+use lapses_bench::{paper_loads, with_bench_counts_scenario, Table};
+use lapses_core::RouterConfig;
+use lapses_network::scenario::Scenario;
+use lapses_network::{Algorithm, Pattern, ScenarioAxis, SimResult, SweepGrid, SweepRunner};
 
-type ConfigMaker = fn(u16, u16) -> SimConfig;
+/// The four routers of Fig. 5, as (adaptive?, look-ahead?) scenarios.
+fn router_scenario(adaptive: bool, lookahead: bool) -> lapses_network::ScenarioBuilder {
+    let builder = Scenario::builder().lookahead(lookahead);
+    if adaptive {
+        builder
+    } else {
+        builder
+            .router(RouterConfig::paper_deterministic().with_lookahead(lookahead))
+            .algorithm(Algorithm::DimensionOrder)
+    }
+}
 
 fn main() {
-    let configs: [(&str, ConfigMaker); 4] = [
-        ("NO LA, DET", SimConfig::paper_deterministic),
-        ("NO LA, ADAPT", SimConfig::paper_adaptive),
-        ("LA, DET", SimConfig::paper_deterministic_lookahead),
-        ("LA, ADAPT", SimConfig::paper_adaptive_lookahead),
+    let configs: [(&str, bool, bool); 4] = [
+        ("NO LA, DET", false, false),
+        ("NO LA, ADAPT", true, false),
+        ("LA, DET", false, true),
+        ("LA, ADAPT", true, true),
     ];
 
     println!("== Figure 5: look-ahead x adaptivity, 16x16 mesh, 20-flit messages ==\n");
 
     // One grid over every (pattern, configuration, load) cell, executed on
-    // all cores. Point seeds stay at the config default so each load is a
-    // paired comparison across the four routers, exactly as the sequential
-    // sweeps ran it.
+    // all cores. Point seeds stay at the scenario default so each load is
+    // a paired comparison across the four routers, exactly as the
+    // sequential sweeps ran it.
     let mut grid = SweepGrid::new();
     for pattern in Pattern::PAPER_FOUR {
-        for (name, mk) in configs {
-            grid = grid.series(
-                format!("{}/{}", pattern.name(), name),
-                with_bench_counts(mk(16, 16).with_pattern(pattern)),
-                paper_loads(pattern),
-            );
+        for (name, adaptive, lookahead) in configs {
+            let scenario =
+                with_bench_counts_scenario(router_scenario(adaptive, lookahead).pattern(pattern))
+                    .build()
+                    .expect("Fig. 5 scenario is valid");
+            grid = grid
+                .scenario_series(
+                    format!("{}/{}", pattern.name(), name),
+                    &scenario,
+                    &ScenarioAxis::Load(paper_loads(pattern).to_vec()),
+                )
+                .expect("Fig. 5 load axis is valid");
         }
     }
     let report = SweepRunner::new().run(&grid);
@@ -57,7 +75,7 @@ fn main() {
         let loads = paper_loads(pattern);
         let sweeps: Vec<Vec<(f64, SimResult)>> = configs
             .iter()
-            .map(|(name, _)| series(pattern, name))
+            .map(|(name, _, _)| series(pattern, name))
             .collect();
 
         let mut fig = Table::new(&[

@@ -7,28 +7,32 @@
 //! lower latency at medium-to-high load, with MAX-CREDIT typically between
 //! LFU and LRU.
 
-use lapses_bench::{paper_loads, series_points, with_bench_counts, Table};
+use lapses_bench::{paper_loads, series_points, with_bench_counts_scenario, Table};
 use lapses_core::psh::PathSelection;
-use lapses_network::{Pattern, SimConfig, SimResult, SweepGrid, SweepRunner};
+use lapses_network::scenario::Scenario;
+use lapses_network::{Pattern, ScenarioAxis, SimResult, SweepGrid, SweepRunner};
 
 fn main() {
     println!("== Figure 6: path-selection heuristics, adaptive 16x16 mesh ==\n");
 
     // All (pattern, heuristic, load) cells as one parallel grid; point
-    // seeds stay at the config default so heuristics are compared on
+    // seeds stay at the scenario default so heuristics are compared on
     // identical workloads.
     let mut grid = SweepGrid::new();
     for pattern in Pattern::PAPER_FOUR {
         for &psh in PathSelection::paper_five().iter() {
-            grid = grid.series(
-                format!("{}/{}", pattern.name(), psh.name()),
-                with_bench_counts(
-                    SimConfig::paper_adaptive(16, 16)
-                        .with_pattern(pattern)
-                        .with_path_selection(psh),
-                ),
-                paper_loads(pattern),
-            );
+            let scenario = with_bench_counts_scenario(
+                Scenario::builder().pattern(pattern).path_selection(psh),
+            )
+            .build()
+            .expect("Fig. 6 scenario is valid");
+            grid = grid
+                .scenario_series(
+                    format!("{}/{}", pattern.name(), psh.name()),
+                    &scenario,
+                    &ScenarioAxis::Load(paper_loads(pattern).to_vec()),
+                )
+                .expect("Fig. 6 load axis is valid");
         }
     }
     let report = SweepRunner::new().run(&grid);

@@ -14,8 +14,8 @@
 //! Expected shape: the shorter the message, the larger the relative gain
 //! from saving one pipeline stage per hop.
 
-use lapses_bench::{with_bench_counts, Table};
-use lapses_network::SimConfig;
+use lapses_bench::{with_bench_counts_scenario, Table};
+use lapses_network::scenario::Scenario;
 use lapses_traffic::LengthDistribution;
 
 fn main() {
@@ -23,18 +23,19 @@ fn main() {
 
     let mut table = Table::new(&["Mesg. Len", "Look Ahead", "No Look Ahead", "% Improv."]);
     for len in [5u32, 10, 20, 50] {
-        let la = with_bench_counts(
-            SimConfig::paper_adaptive_lookahead(16, 16)
-                .with_load(0.2)
-                .with_message_length(LengthDistribution::Fixed(len)),
-        )
-        .run();
-        let no_la = with_bench_counts(
-            SimConfig::paper_adaptive(16, 16)
-                .with_load(0.2)
-                .with_message_length(LengthDistribution::Fixed(len)),
-        )
-        .run();
+        let run = |lookahead: bool| {
+            with_bench_counts_scenario(
+                Scenario::builder()
+                    .lookahead(lookahead)
+                    .load(0.2)
+                    .lengths(LengthDistribution::Fixed(len)),
+            )
+            .build()
+            .expect("Table 3 scenario is valid")
+            .run()
+        };
+        let la = run(true);
+        let no_la = run(false);
         let improv = (no_la.avg_latency - la.avg_latency) / no_la.avg_latency * 100.0;
         table.row(vec![
             len.to_string(),

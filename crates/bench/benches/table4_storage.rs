@@ -13,8 +13,9 @@
 //! * on non-uniform traffic the meta variants saturate far earlier than
 //!   full-table/ES.
 
-use lapses_bench::{series_points, with_bench_counts, Table};
-use lapses_network::{Pattern, SimConfig, SweepGrid, SweepRunner, TableKind};
+use lapses_bench::{series_points, with_bench_counts_scenario, Table};
+use lapses_network::scenario::Scenario;
+use lapses_network::{Pattern, ScenarioAxis, SweepGrid, SweepRunner, TableKind};
 
 fn main() {
     println!("== Table 4: table-storage scheme comparison, adaptive 16x16 mesh ==\n");
@@ -41,15 +42,18 @@ fn main() {
     let mut grid = SweepGrid::new();
     for (pattern, loads) in cases.iter() {
         for (name, kind) in schemes.iter() {
-            grid = grid.series(
-                format!("{}/{}", pattern.name(), name),
-                with_bench_counts(
-                    SimConfig::paper_adaptive(16, 16)
-                        .with_pattern(*pattern)
-                        .with_table(kind.clone()),
-                ),
-                loads,
-            );
+            let scenario = with_bench_counts_scenario(
+                Scenario::builder().pattern(*pattern).table(kind.clone()),
+            )
+            .build()
+            .expect("Table 4 scenario is valid");
+            grid = grid
+                .scenario_series(
+                    format!("{}/{}", pattern.name(), name),
+                    &scenario,
+                    &ScenarioAxis::Load(loads.to_vec()),
+                )
+                .expect("Table 4 load axis is valid");
         }
     }
     let report = SweepRunner::new().run(&grid);

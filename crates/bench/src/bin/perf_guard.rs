@@ -9,8 +9,12 @@
 //!   are bit-stable — a perf PR that changes them changed simulated
 //!   behavior, which must be an explicit baseline update, never an
 //!   accident; or
-//! * **throughput regressed**: `cycles_per_second` fell more than the
-//!   tolerance below the baseline. The tolerance defaults to 20% and is
+//! * **throughput regressed**: the throughput metric fell more than the
+//!   tolerance below the baseline. When both files carry the
+//!   noise-robust `flit_hops_per_second` metric (simulated flit-hops per
+//!   wall second, best of `LAPSES_BENCH_REPS` short repetitions) the
+//!   guard compares on it; otherwise it falls back to
+//!   `cycles_per_second`. The tolerance defaults to 20% and is
 //!   overridable via `LAPSES_PERF_TOLERANCE` (a fraction, e.g. `0.35`) —
 //!   shared CI runners are noisy, so CI pins a looser value than the
 //!   default while still catching order-of-magnitude regressions.
@@ -71,10 +75,28 @@ fn main() -> ExitCode {
     };
 
     // Bit-identity first: the pinned workload must simulate identically.
+    // The three core keys are mandatory (a missing one is a hard error);
+    // `flit_hops_rep` joins the list only when both files carry it —
+    // older baselines predate the short-repetition protocol.
     let mut ok = true;
-    for key in ["simulated_cycles", "delivered_messages", "delivered_flits"] {
-        let got = field(&fresh, "BENCH_sweep.json", key);
-        let want = field(&baseline, "BENCH_baseline.json", key);
+    let core_keys = ["simulated_cycles", "delivered_messages", "delivered_flits"];
+    let mut checks: Vec<(&str, f64, f64)> = core_keys
+        .iter()
+        .map(|key| {
+            (
+                *key,
+                field(&fresh, "BENCH_sweep.json", key),
+                field(&baseline, "BENCH_baseline.json", key),
+            )
+        })
+        .collect();
+    if let (Some(got), Some(want)) = (
+        json_number(&fresh, "flit_hops_rep"),
+        json_number(&baseline, "flit_hops_rep"),
+    ) {
+        checks.push(("flit_hops_rep", got, want));
+    }
+    for (key, got, want) in checks {
         if got != want {
             eprintln!(
                 "perf_guard: {key} drifted from the baseline: {got} != {want} — \
@@ -85,24 +107,35 @@ fn main() -> ExitCode {
         }
     }
 
-    // Then throughput.
+    // Then throughput, on the noise-robust flit-hops metric when both
+    // sides have it, else on cycles/second.
     let tolerance: f64 = std::env::var("LAPSES_PERF_TOLERANCE")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.20);
-    let fresh_cps = field(&fresh, "BENCH_sweep.json", "cycles_per_second");
-    let base_cps = field(&baseline, "BENCH_baseline.json", "cycles_per_second");
-    let floor = base_cps * (1.0 - tolerance);
-    let ratio = fresh_cps / base_cps;
+    let hops_key = "flit_hops_per_second";
+    let (metric, fresh_v, base_v) = match (
+        json_number(&fresh, hops_key),
+        json_number(&baseline, hops_key),
+    ) {
+        (Some(f), Some(b)) => ("flit-hops/s", f, b),
+        _ => (
+            "cycles/s",
+            field(&fresh, "BENCH_sweep.json", "cycles_per_second"),
+            field(&baseline, "BENCH_baseline.json", "cycles_per_second"),
+        ),
+    };
+    let floor = base_v * (1.0 - tolerance);
+    let ratio = fresh_v / base_v;
     println!(
-        "perf_guard: {fresh_cps:.0} cycles/s vs baseline {base_cps:.0} \
+        "perf_guard: {fresh_v:.0} {metric} vs baseline {base_v:.0} \
          ({ratio:.2}x, floor {floor:.0} at tolerance {tolerance})"
     );
-    if fresh_cps < floor {
+    if fresh_v < floor {
         eprintln!(
             "perf_guard: throughput regressed more than {:.0}% below the \
-             baseline; raise LAPSES_PERF_TOLERANCE only for known-noisy \
-             runners, otherwise find the regression",
+             baseline ({metric}); raise LAPSES_PERF_TOLERANCE only for \
+             known-noisy runners, otherwise find the regression",
             tolerance * 100.0
         );
         ok = false;

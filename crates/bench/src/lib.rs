@@ -7,6 +7,7 @@
 //! `LAPSES_WARMUP_MSGS=10000 LAPSES_MEASURE_MSGS=400000` to run the paper's
 //! full protocol.
 
+use lapses_network::scenario::ScenarioBuilder;
 use lapses_network::{SimConfig, SimResult, SweepReport};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -47,6 +48,14 @@ pub fn paper_loads(pattern: lapses_network::Pattern) -> &'static [f64] {
 pub fn with_bench_counts(cfg: SimConfig) -> SimConfig {
     cfg.with_message_counts(500, 6_000)
         .with_env_message_counts()
+}
+
+/// The Scenario-API twin of [`with_bench_counts`]: the same fast profile
+/// and `LAPSES_WARMUP_MSGS` / `LAPSES_MEASURE_MSGS` overrides, applied to
+/// a scenario builder.
+pub fn with_bench_counts_scenario(builder: ScenarioBuilder) -> ScenarioBuilder {
+    let resolved = with_bench_counts(SimConfig::paper_adaptive(4, 4));
+    builder.message_counts(resolved.warmup_msgs, resolved.measure_msgs)
 }
 
 /// Extracts one labeled series from a [`SweepRunner`] report as the

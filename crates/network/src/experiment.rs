@@ -13,11 +13,12 @@ use lapses_core::psh::PathSelection;
 use lapses_core::tables::{EconomicalTable, FullTable, IntervalTable, MetaTable};
 use lapses_core::{RouterConfig, TableScheme};
 use lapses_routing::{DimensionOrder, DuatoAdaptive, RoutingAlgorithm, TurnModel, TurnModelKind};
-use lapses_sim::{Cycle, MeasurementPhase, PhaseController, ProgressWatchdog, SimRng};
+use lapses_sim::{Cycle, MeasurementPhase, PhaseController, ProgressWatchdog};
 use lapses_topology::{Mesh, NodeId};
-use lapses_traffic::arrivals::Exponential;
+use lapses_traffic::arrivals::{ArrivalProcess, Bernoulli, Exponential, Periodic};
 use lapses_traffic::patterns;
-use lapses_traffic::{Generator, LengthDistribution, TrafficPattern};
+use lapses_traffic::workload::{OnOffWorkload, SyntheticWorkload, Workload};
+use lapses_traffic::{Generator, LengthDistribution, Trace, TraceWorkload, TrafficPattern};
 use std::sync::Arc;
 
 /// Routing algorithm selector.
@@ -44,6 +45,101 @@ impl Algorithm {
             Algorithm::NorthLast => Box::new(TurnModel::new(TurnModelKind::NorthLast)),
             Algorithm::WestFirst => Box::new(TurnModel::new(TurnModelKind::WestFirst)),
             Algorithm::NegativeFirst => Box::new(TurnModel::new(TurnModelKind::NegativeFirst)),
+        }
+    }
+
+    /// A short name for reports and scenario specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::DimensionOrder => "dimension-order",
+            Algorithm::Duato => "duato",
+            Algorithm::NorthLast => "north-last",
+            Algorithm::WestFirst => "west-first",
+            Algorithm::NegativeFirst => "negative-first",
+        }
+    }
+
+    /// Whether the relation is restricted to 2-D meshes (the turn models).
+    pub fn requires_2d_mesh(self) -> bool {
+        matches!(
+            self,
+            Algorithm::NorthLast | Algorithm::WestFirst | Algorithm::NegativeFirst
+        )
+    }
+}
+
+/// Arrival-process selector for the synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalKind {
+    /// Exponential (Poisson) inter-arrival gaps — the paper's process.
+    #[default]
+    Exponential,
+    /// Bernoulli trials per cycle: geometric integer gaps.
+    Bernoulli,
+    /// Deterministic fixed gaps.
+    Periodic,
+}
+
+impl ArrivalKind {
+    /// Instantiates the process at the given mean gap.
+    pub fn build(self, mean_gap: f64) -> Box<dyn ArrivalProcess> {
+        match self {
+            ArrivalKind::Exponential => Box::new(Exponential::new(mean_gap)),
+            ArrivalKind::Bernoulli => Box::new(Bernoulli::new(mean_gap)),
+            ArrivalKind::Periodic => Box::new(Periodic::new(mean_gap)),
+        }
+    }
+
+    /// A short name for reports and scenario specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalKind::Exponential => "exponential",
+            ArrivalKind::Bernoulli => "bernoulli",
+            ArrivalKind::Periodic => "periodic",
+        }
+    }
+}
+
+/// Workload selector: which message source drives the run.
+///
+/// The synthetic and bursty sources read the configuration's `pattern`,
+/// `load` and `lengths` fields; trace replay carries its own timing and
+/// ignores them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadKind {
+    /// Pattern × arrival-process × length synthetic traffic (the classic
+    /// path).
+    Synthetic {
+        /// The inter-arrival process.
+        arrivals: ArrivalKind,
+    },
+    /// ON/OFF bursty source over the configured pattern, normalized to the
+    /// configured load.
+    Bursty {
+        /// Mean messages per ON burst (geometric).
+        burst_len: u32,
+        /// Cycles between messages within a burst.
+        peak_gap: f64,
+    },
+    /// Replay of a recorded trace.
+    Trace(Arc<Trace>),
+}
+
+impl Default for WorkloadKind {
+    fn default() -> Self {
+        WorkloadKind::Synthetic {
+            arrivals: ArrivalKind::Exponential,
+        }
+    }
+}
+
+impl WorkloadKind {
+    /// A short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Synthetic { .. } => "synthetic",
+            WorkloadKind::Bursty { .. } => "bursty",
+            WorkloadKind::Trace(_) => "trace",
         }
     }
 }
@@ -169,6 +265,10 @@ pub struct SimConfig {
     pub table: TableKind,
     /// Traffic pattern.
     pub pattern: Pattern,
+    /// Message source (synthetic, bursty, or trace replay). The synthetic
+    /// and bursty sources read `pattern`, `load` and `lengths`; trace
+    /// replay carries its own timing.
+    pub workload: WorkloadKind,
     /// Normalized offered load (1.0 = uniform bisection saturation).
     pub load: f64,
     /// Message length distribution (the paper: fixed 20 flits).
@@ -216,6 +316,7 @@ impl SimConfig {
             algorithm: Algorithm::Duato,
             table: TableKind::Full,
             pattern: Pattern::Uniform,
+            workload: WorkloadKind::default(),
             load: 0.2,
             lengths: LengthDistribution::PAPER_DEFAULT,
             warmup_msgs: 2_000,
@@ -347,6 +448,86 @@ impl SimConfig {
         self
     }
 
+    /// Sets the message source.
+    pub fn with_workload(mut self, workload: WorkloadKind) -> SimConfig {
+        self.workload = workload;
+        self
+    }
+
+    /// Selects the synthetic source with the given arrival process.
+    pub fn with_arrivals(self, arrivals: ArrivalKind) -> SimConfig {
+        self.with_workload(WorkloadKind::Synthetic { arrivals })
+    }
+
+    /// Selects the ON/OFF bursty source (mean `burst_len` messages per
+    /// burst, `peak_gap` cycles between messages within a burst).
+    pub fn with_bursty(self, burst_len: u32, peak_gap: f64) -> SimConfig {
+        self.with_workload(WorkloadKind::Bursty {
+            burst_len,
+            peak_gap,
+        })
+    }
+
+    /// Selects trace replay.
+    pub fn with_trace(self, trace: Arc<Trace>) -> SimConfig {
+        self.with_workload(WorkloadKind::Trace(trace))
+    }
+
+    /// Instantiates the configured message source for one run, forking
+    /// the per-node streams from the run seed exactly the way the
+    /// original experiment loop did — so the synthetic path is
+    /// bit-identical to the historical inline wiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent workload parameters (e.g. bursty settings
+    /// with no room for an OFF period, a Bernoulli mean gap below one
+    /// cycle, or a trace recorded for a different node count). The
+    /// [`Scenario`](crate::scenario::Scenario) builder validates all of
+    /// these up front and returns errors instead.
+    pub fn build_workload(&self) -> Box<dyn Workload> {
+        let traffic_seed = self.seed ^ 0x5EED_CAFE;
+        match &self.workload {
+            WorkloadKind::Synthetic { arrivals } => {
+                let mean_gap =
+                    Generator::mean_gap_for_load(&self.mesh, self.load, self.lengths.mean());
+                Box::new(SyntheticWorkload::new(
+                    self.mesh.clone(),
+                    self.pattern.build(),
+                    arrivals.build(mean_gap),
+                    self.lengths,
+                    traffic_seed,
+                ))
+            }
+            WorkloadKind::Bursty {
+                burst_len,
+                peak_gap,
+            } => {
+                let mean_gap =
+                    Generator::mean_gap_for_load(&self.mesh, self.load, self.lengths.mean());
+                Box::new(OnOffWorkload::new(
+                    self.mesh.clone(),
+                    self.pattern.build(),
+                    self.lengths,
+                    *burst_len,
+                    *peak_gap,
+                    mean_gap,
+                    traffic_seed,
+                ))
+            }
+            WorkloadKind::Trace(trace) => {
+                assert_eq!(
+                    trace.node_count() as usize,
+                    self.mesh.node_count(),
+                    "trace was recorded for {} nodes but the mesh has {}",
+                    trace.node_count(),
+                    self.mesh.node_count()
+                );
+                Box::new(TraceWorkload::new(trace.clone()))
+            }
+        }
+    }
+
     /// Applies `LAPSES_WARMUP_MSGS` / `LAPSES_MEASURE_MSGS` environment
     /// overrides, letting the benches run the full paper protocol on
     /// demand without recompiling.
@@ -394,33 +575,28 @@ impl SimConfig {
         net.set_active_scheduling(self.active_scheduling);
         net.set_batched_delivery(self.batched_delivery);
 
-        let pattern = self.pattern.build();
-        let arrivals = Exponential::new(Generator::mean_gap_for_load(
-            &self.mesh,
-            self.load,
-            self.lengths.mean(),
-        ));
-        let mut master = SimRng::from_seed(self.seed ^ 0x5EED_CAFE);
-        let mut generators: Vec<Generator> = self
-            .mesh
-            .nodes()
-            .map(|n| Generator::new(n, master.fork(n.0 as u64)))
-            .collect();
+        let mut workload = self.build_workload();
+        assert_eq!(
+            workload.node_count(),
+            self.mesh.node_count(),
+            "workload node count must match the topology"
+        );
 
         let mut phase = PhaseController::new(self.warmup_msgs, self.measure_msgs);
         let mut watchdog = ProgressWatchdog::new(self.stall_window, self.backlog_limit);
         let mut clock = Cycle::ZERO;
 
-        // Generators are polled through a due-time heap: a poll strictly
-        // before a generator's `next_due_cycle` is a state-preserving
-        // no-op, so only due generators are visited. Ties pop in node
-        // order — the order the plain per-cycle scan uses — which keeps
-        // the injection sequence (and thus the whole run) bit-identical.
-        let mut due: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> = self
-            .mesh
-            .nodes()
-            .map(|n| std::cmp::Reverse((0u64, n.0)))
-            .collect();
+        // The workload is polled through a due-time heap: a poll strictly
+        // before a node's `next_due_cycle` is a state-preserving no-op, so
+        // only due nodes are visited. Ties pop in node order — the order
+        // the plain per-cycle scan uses — which keeps the injection
+        // sequence (and thus the whole run) bit-identical. A node whose
+        // next due cycle is `u64::MAX` is exhausted (finite sources).
+        let mut due: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+            (0..workload.node_count() as u32)
+                .map(|n| std::cmp::Reverse((workload.next_due_cycle(n), n)))
+                .collect();
+        let mut specs = Vec::new();
 
         loop {
             while phase.accepting_injections() {
@@ -429,16 +605,16 @@ impl SimConfig {
                     _ => break,
                 }
                 let std::cmp::Reverse((_, node)) = due.pop().expect("peeked entry");
-                let g = &mut generators[node as usize];
-                let src = g.src();
-                for spec in g.poll(clock, &self.mesh, pattern.as_ref(), &arrivals, self.lengths) {
+                specs.clear();
+                workload.poll(node, clock, &mut specs);
+                for spec in &specs {
                     if !phase.accepting_injections() {
                         break;
                     }
                     let measured = phase.note_injection();
-                    net.offer_message(src, spec.dest, spec.length, clock, measured);
+                    net.offer_message(spec.src, spec.dest, spec.length, clock, measured);
                 }
-                due.push(std::cmp::Reverse((g.next_due_cycle(), node)));
+                due.push(std::cmp::Reverse((workload.next_due_cycle(node), node)));
             }
 
             let summary = net.step(clock);
@@ -453,6 +629,20 @@ impl SimConfig {
             if phase.phase() == MeasurementPhase::Done {
                 break;
             }
+            // A finite source (trace replay) may run dry before the
+            // measurement quota: once every node is exhausted and the
+            // network has drained, nothing can ever move again, so the run
+            // ends cleanly with the statistics gathered so far. Infinite
+            // sources never report `u64::MAX`, so this cannot fire for
+            // them and the classic protocol is untouched.
+            if phase.accepting_injections()
+                && !net.has_traffic()
+                && due
+                    .peek()
+                    .is_some_and(|&std::cmp::Reverse((t, _))| t == u64::MAX)
+            {
+                break;
+            }
             if watchdog.is_saturated()
                 || watchdog.is_stalled(clock, net.has_traffic())
                 || clock.as_u64() >= self.max_cycles
@@ -465,12 +655,13 @@ impl SimConfig {
         let stats = net.router_stats();
         let allocs = stats.adaptive_allocations + stats.escape_allocations;
         let cycles = net.cycles_run().max(1);
-        let max_link = net
-            .link_loads()
-            .filter(|(_, p, _)| !p.is_local())
-            .map(|(_, _, f)| f)
-            .max()
-            .unwrap_or(0);
+        let (mut max_link, mut flit_hops) = (0u64, 0u64);
+        for (_, port, flits) in net.link_loads() {
+            if !port.is_local() {
+                max_link = max_link.max(flits);
+                flit_hops += flits;
+            }
+        }
         SimResult {
             avg_latency: net.latency().mean(),
             avg_total_latency: net.total_latency().mean(),
@@ -495,6 +686,7 @@ impl SimConfig {
                 stats.multi_candidate_decisions as f64 / stats.headers_routed as f64
             },
             max_link_utilization: max_link as f64 / cycles as f64,
+            flit_hops,
         }
     }
 

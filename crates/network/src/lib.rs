@@ -6,22 +6,32 @@
 //! drives the whole system cycle by cycle — the reconstruction of the
 //! paper's "PROUD network simulator".
 //!
-//! The high-level entry point is [`experiment::SimConfig`]: describe the
-//! topology, router, table scheme, routing algorithm, traffic pattern and
-//! offered load, then call [`experiment::SimConfig::run`] to obtain a
-//! [`stats::SimResult`] with the latency statistics the paper reports.
+//! The experiment-facing entry point is [`scenario::Scenario`]: compose
+//! topology, router, table scheme, routing algorithm, **workload**
+//! (synthetic, bursty, or trace replay — see [`lapses_traffic::workload`])
+//! and run policy through the validating builder, then run it (or compile
+//! it to the internal [`experiment::SimConfig`], the plain-data form the
+//! sweep runner executes) to obtain a [`stats::SimResult`] with the
+//! latency statistics the paper reports. Scenarios also round-trip
+//! through a text form, [`spec::ScenarioSpec`], and sweep along
+//! [`sweep::ScenarioAxis`] dimensions.
 //!
 //! # Example
 //!
 //! ```
-//! use lapses_network::experiment::{Pattern, SimConfig};
+//! use lapses_network::scenario::Scenario;
+//! use lapses_network::Pattern;
 //!
-//! // A small, fast configuration (the paper's is 16x16 with 400k messages).
-//! let result = SimConfig::paper_adaptive_lookahead(8, 8)
-//!     .with_pattern(Pattern::Uniform)
-//!     .with_load(0.2)
-//!     .with_message_counts(200, 2_000)
-//!     .with_seed(7)
+//! // A small, fast scenario (the paper's is 16x16 with 400k messages).
+//! let result = Scenario::builder()
+//!     .mesh_2d(8, 8)
+//!     .lookahead(true)
+//!     .pattern(Pattern::Uniform)
+//!     .load(0.2)
+//!     .message_counts(200, 2_000)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap()
 //!     .run();
 //! assert!(!result.saturated);
 //! assert!(result.avg_latency > 0.0);
@@ -33,6 +43,8 @@
 pub mod experiment;
 pub mod network;
 pub mod report;
+pub mod scenario;
+pub mod spec;
 pub mod stats;
 pub mod sweep;
 
@@ -41,8 +53,10 @@ mod delivery;
 mod messages;
 mod nic;
 
-pub use experiment::{Algorithm, Pattern, SimConfig, TableKind};
+pub use experiment::{Algorithm, ArrivalKind, Pattern, SimConfig, TableKind, WorkloadKind};
 pub use network::Network;
 pub use report::SweepReport;
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};
+pub use spec::{ScenarioSpec, SpecError};
 pub use stats::SimResult;
-pub use sweep::{CutoffPolicy, SweepGrid, SweepRunner};
+pub use sweep::{CutoffPolicy, ScenarioAxis, SweepGrid, SweepRunner};

@@ -215,6 +215,7 @@ mod tests {
             escape_fraction: 0.0,
             choice_fraction: 0.0,
             max_link_utilization: 0.2,
+            flit_hops: 0,
         }
     }
 

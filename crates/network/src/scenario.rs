@@ -1,0 +1,657 @@
+//! The experiment-facing Scenario API.
+//!
+//! A [`Scenario`] is a *validated* description of one simulation point:
+//! topology, router microarchitecture, routing algorithm, table scheme,
+//! workload, and run policy. [`ScenarioBuilder`] composes the layers with
+//! checked setters and [`ScenarioBuilder::build`] returns every
+//! inconsistency as a typed [`ScenarioError`] instead of a mid-run panic;
+//! the result then *compiles* down to the [`SimConfig`]-shaped internals
+//! ([`Scenario::compile`]), so the fused SoA hot path runs exactly the
+//! bytes it always ran — the paper-reference synthetic scenario is
+//! bit-identical to the historical `SimConfig` path (enforced by the
+//! `scenario_equivalence` integration test).
+//!
+//! # Example
+//!
+//! ```
+//! use lapses_network::scenario::Scenario;
+//! use lapses_network::{Algorithm, Pattern};
+//!
+//! let scenario = Scenario::builder()
+//!     .mesh_2d(8, 8)
+//!     .algorithm(Algorithm::Duato)
+//!     .pattern(Pattern::Transpose)
+//!     .load(0.15)
+//!     .message_counts(200, 1_000)
+//!     .build()
+//!     .unwrap();
+//! let result = scenario.run();
+//! assert!(!result.saturated);
+//! ```
+
+use crate::experiment::{Algorithm, ArrivalKind, Pattern, SimConfig, TableKind, WorkloadKind};
+use crate::stats::SimResult;
+use lapses_core::psh::PathSelection;
+use lapses_core::RouterConfig;
+use lapses_topology::Mesh;
+use lapses_traffic::workload::OnOffWorkload;
+use lapses_traffic::{Generator, LengthDistribution, Trace};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a scenario failed to validate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The normalized load must be positive and finite.
+    InvalidLoad(f64),
+    /// The measurement window must inject at least one message.
+    EmptyMeasurement,
+    /// Virtual-channel counts are inconsistent.
+    VcConfig {
+        /// VCs per port.
+        total: usize,
+        /// Escape VCs requested.
+        escape: usize,
+    },
+    /// The routing algorithm needs more escape VCs than the router has.
+    EscapeVcs {
+        /// The algorithm.
+        algorithm: Algorithm,
+        /// Escape VCs (dateline subclasses) the algorithm needs.
+        needed: usize,
+        /// Escape VCs the router provides.
+        have: usize,
+    },
+    /// The routing algorithm does not support the topology.
+    AlgorithmTopology {
+        /// The algorithm.
+        algorithm: Algorithm,
+        /// Rendered topology ("8x8 torus").
+        topology: String,
+    },
+    /// Bursty parameters leave no room for an OFF silence at this load.
+    BurstParams {
+        /// Mean messages per burst.
+        burst_len: u32,
+        /// Intra-burst gap in cycles.
+        peak_gap: f64,
+        /// Target long-run mean gap implied by the load.
+        mean_gap: f64,
+    },
+    /// Bernoulli arrivals need a mean gap of at least one cycle; the
+    /// offered load is too high for one-trial-per-cycle arrivals.
+    BernoulliGap {
+        /// The implied mean gap.
+        mean_gap: f64,
+    },
+    /// The trace was recorded for a different node count.
+    TraceNodeCount {
+        /// Nodes the trace was validated against.
+        trace_nodes: u32,
+        /// Nodes in the scenario's topology.
+        mesh_nodes: usize,
+    },
+    /// The trace has no events left after warm-up.
+    TraceTooShort {
+        /// Events in the trace.
+        events: usize,
+        /// Warm-up injections requested.
+        warmup: u64,
+    },
+    /// A sweep axis was applied to a scenario that lacks the dimension
+    /// (e.g. a burst-length axis on a non-bursty workload).
+    AxisMismatch {
+        /// The axis name.
+        axis: &'static str,
+        /// The workload the scenario actually has.
+        workload: &'static str,
+    },
+    /// A sweep axis's values must be strictly ascending (the saturation
+    /// cut-off truncates a series by position).
+    AxisNotAscending {
+        /// The axis name.
+        axis: &'static str,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::InvalidLoad(load) => {
+                write!(f, "normalized load must be positive and finite, got {load}")
+            }
+            ScenarioError::EmptyMeasurement => {
+                write!(f, "measurement window must inject at least one message")
+            }
+            ScenarioError::VcConfig { total, escape } => write!(
+                f,
+                "VC configuration is inconsistent: {escape} escape VC(s) out of {total} total"
+            ),
+            ScenarioError::EscapeVcs {
+                algorithm,
+                needed,
+                have,
+            } => write!(
+                f,
+                "{} routing needs at least {needed} escape VC(s) for deadlock freedom, router has {have}",
+                algorithm.name()
+            ),
+            ScenarioError::AlgorithmTopology {
+                algorithm,
+                topology,
+            } => write!(
+                f,
+                "{} routing does not support a {topology}",
+                algorithm.name()
+            ),
+            ScenarioError::BurstParams {
+                burst_len,
+                peak_gap,
+                mean_gap,
+            } => write!(
+                f,
+                "bursty workload (burst {burst_len}, peak gap {peak_gap}) leaves no OFF \
+                 silence at mean gap {mean_gap:.1}"
+            ),
+            ScenarioError::BernoulliGap { mean_gap } => write!(
+                f,
+                "Bernoulli arrivals need a mean gap of at least 1 cycle, load implies {mean_gap:.3}"
+            ),
+            ScenarioError::TraceNodeCount {
+                trace_nodes,
+                mesh_nodes,
+            } => write!(
+                f,
+                "trace was recorded for {trace_nodes} nodes but the topology has {mesh_nodes}"
+            ),
+            ScenarioError::TraceTooShort { events, warmup } => write!(
+                f,
+                "trace has {events} events, all consumed by the {warmup}-message warm-up"
+            ),
+            ScenarioError::AxisMismatch { axis, workload } => write!(
+                f,
+                "{axis} axis cannot be applied to a {workload} workload"
+            ),
+            ScenarioError::AxisNotAscending { axis } => {
+                write!(f, "{axis} axis values must be strictly ascending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A validated simulation scenario; compile it to a [`SimConfig`] or run
+/// it directly.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: SimConfig,
+}
+
+impl Scenario {
+    /// Starts a builder at the paper's reference point: the adaptive
+    /// PROUD router on a 16×16 mesh, uniform synthetic traffic at 0.2
+    /// normalized load.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder {
+            config: SimConfig::paper_adaptive(16, 16),
+        }
+    }
+
+    /// The compiled configuration, borrowed.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Compiles the scenario to the internal experiment configuration —
+    /// the form [`SimConfig::run`] and the sweep runner execute. The
+    /// compiled form is plain data; modifying it bypasses scenario
+    /// validation.
+    pub fn compile(&self) -> SimConfig {
+        self.config.clone()
+    }
+
+    /// Runs the scenario to completion (or saturation cut-off).
+    pub fn run(&self) -> SimResult {
+        self.config.run()
+    }
+
+    /// Reopens the scenario for modification; `build()` re-validates.
+    pub fn to_builder(&self) -> ScenarioBuilder {
+        ScenarioBuilder {
+            config: self.config.clone(),
+        }
+    }
+}
+
+/// Composes a [`Scenario`] layer by layer; every setter is infallible and
+/// [`ScenarioBuilder::build`] validates the whole composition at once.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    config: SimConfig,
+}
+
+impl ScenarioBuilder {
+    // --- topology ---
+
+    /// Sets the topology to a `width × height` mesh.
+    pub fn mesh_2d(self, width: u16, height: u16) -> Self {
+        self.topology(Mesh::mesh_2d(width, height))
+    }
+
+    /// Sets the topology to a `width × height` torus (wrap links; Duato
+    /// escape needs two dateline subclasses per dimension crossing).
+    pub fn torus_2d(self, width: u16, height: u16) -> Self {
+        self.topology(Mesh::torus_2d(width, height))
+    }
+
+    /// Sets an arbitrary topology (any dimensionality, mesh or torus).
+    /// The saturation backlog limit rescales with the node count.
+    pub fn topology(mut self, mesh: Mesh) -> Self {
+        self.config = self.config.with_mesh(mesh);
+        self
+    }
+
+    // --- router ---
+
+    /// Replaces the whole router microarchitecture.
+    pub fn router(mut self, router: RouterConfig) -> Self {
+        self.config.router = router;
+        self
+    }
+
+    /// Switches look-ahead routing (LA-PROUD) on or off.
+    pub fn lookahead(mut self, lookahead: bool) -> Self {
+        self.config.router = self.config.router.with_lookahead(lookahead);
+        self
+    }
+
+    /// Sets total and escape VC counts per port.
+    pub fn vcs(mut self, total: usize, escape: usize) -> Self {
+        self.config.router.vcs_per_port = total;
+        self.config.router.escape_vcs = escape;
+        self
+    }
+
+    /// Sets the path-selection heuristic.
+    pub fn path_selection(mut self, psh: PathSelection) -> Self {
+        self.config.router.path_selection = psh;
+        self
+    }
+
+    /// Sets the table-lookup latency in cycles.
+    pub fn table_lookup_cycles(mut self, cycles: u32) -> Self {
+        self.config.router = self.config.router.with_table_lookup_cycles(cycles);
+        self
+    }
+
+    // --- routing ---
+
+    /// Sets the routing algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the table storage scheme.
+    pub fn table(mut self, table: TableKind) -> Self {
+        self.config.table = table;
+        self
+    }
+
+    // --- workload ---
+
+    /// Sets the traffic pattern (read by the synthetic and bursty
+    /// sources).
+    pub fn pattern(mut self, pattern: Pattern) -> Self {
+        self.config.pattern = pattern;
+        self
+    }
+
+    /// Sets the message source.
+    pub fn workload(mut self, workload: WorkloadKind) -> Self {
+        self.config.workload = workload;
+        self
+    }
+
+    /// Selects the synthetic source with the given arrival process.
+    pub fn arrivals(self, arrivals: ArrivalKind) -> Self {
+        self.workload(WorkloadKind::Synthetic { arrivals })
+    }
+
+    /// Selects the ON/OFF bursty source.
+    pub fn bursty(self, burst_len: u32, peak_gap: f64) -> Self {
+        self.workload(WorkloadKind::Bursty {
+            burst_len,
+            peak_gap,
+        })
+    }
+
+    /// Selects trace replay (the trace carries its own timing; `load` is
+    /// ignored).
+    pub fn trace(self, trace: Arc<Trace>) -> Self {
+        self.workload(WorkloadKind::Trace(trace))
+    }
+
+    /// Sets the normalized offered load (validated at build).
+    pub fn load(mut self, load: f64) -> Self {
+        self.config.load = load;
+        self
+    }
+
+    /// Sets the message length distribution.
+    pub fn lengths(mut self, lengths: LengthDistribution) -> Self {
+        self.config.lengths = lengths;
+        self
+    }
+
+    // --- run policy ---
+
+    /// Sets warm-up and measured injection counts.
+    pub fn message_counts(mut self, warmup: u64, measure: u64) -> Self {
+        self.config.warmup_msgs = warmup;
+        self.config.measure_msgs = measure;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the link traversal delay in cycles.
+    pub fn link_delay(mut self, delay: u64) -> Self {
+        self.config.link_delay = delay;
+        self
+    }
+
+    /// Sets the hard cycle cap.
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.config.max_cycles = max_cycles;
+        self
+    }
+
+    /// Switches the active-set scheduler (differential testing).
+    pub fn active_scheduling(mut self, enabled: bool) -> Self {
+        self.config.active_scheduling = enabled;
+        self
+    }
+
+    /// Switches the fused router pipeline (differential testing).
+    pub fn fused_pipeline(mut self, fused: bool) -> Self {
+        self.config.router = self.config.router.with_fused_pipeline(fused);
+        self
+    }
+
+    /// Switches batched link delivery (differential testing).
+    pub fn batched_delivery(mut self, enabled: bool) -> Self {
+        self.config.batched_delivery = enabled;
+        self
+    }
+
+    /// Validates the composition and produces a runnable [`Scenario`].
+    ///
+    /// Checks, in order: load sanity, measurement window, VC counts,
+    /// algorithm/topology compatibility, escape-VC sufficiency for
+    /// deadlock freedom, and workload-specific consistency (Bernoulli
+    /// gap ≥ 1 cycle, bursty OFF-silence positivity, trace node count).
+    /// For trace workloads the measured-injection count is clamped to the
+    /// events the trace actually holds, so a trace run ends exactly when
+    /// the replay drains.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let mut config = self.config;
+
+        if !(config.load > 0.0 && config.load.is_finite()) {
+            return Err(ScenarioError::InvalidLoad(config.load));
+        }
+        if config.measure_msgs == 0 {
+            return Err(ScenarioError::EmptyMeasurement);
+        }
+
+        let router = &config.router;
+        if router.vcs_per_port == 0 || router.escape_vcs > router.vcs_per_port {
+            return Err(ScenarioError::VcConfig {
+                total: router.vcs_per_port,
+                escape: router.escape_vcs,
+            });
+        }
+
+        if config.algorithm.requires_2d_mesh()
+            && (config.mesh.dims() != 2 || config.mesh.is_torus())
+        {
+            return Err(ScenarioError::AlgorithmTopology {
+                algorithm: config.algorithm,
+                topology: config.mesh.to_string(),
+            });
+        }
+
+        let algo = config.algorithm.build();
+        if !algo.deadlock_free_without_escape() {
+            let needed = algo.escape_subclasses(&config.mesh).max(1);
+            if router.escape_vcs < needed {
+                return Err(ScenarioError::EscapeVcs {
+                    algorithm: config.algorithm,
+                    needed,
+                    have: router.escape_vcs,
+                });
+            }
+        }
+
+        match &config.workload {
+            WorkloadKind::Synthetic { arrivals } => {
+                if *arrivals == ArrivalKind::Bernoulli {
+                    let mean_gap = Generator::mean_gap_for_load(
+                        &config.mesh,
+                        config.load,
+                        config.lengths.mean(),
+                    );
+                    if mean_gap < 1.0 {
+                        return Err(ScenarioError::BernoulliGap { mean_gap });
+                    }
+                }
+            }
+            WorkloadKind::Bursty {
+                burst_len,
+                peak_gap,
+            } => {
+                let mean_gap =
+                    Generator::mean_gap_for_load(&config.mesh, config.load, config.lengths.mean());
+                if OnOffWorkload::off_mean_for(*burst_len, *peak_gap, mean_gap).is_none() {
+                    return Err(ScenarioError::BurstParams {
+                        burst_len: *burst_len,
+                        peak_gap: *peak_gap,
+                        mean_gap,
+                    });
+                }
+            }
+            WorkloadKind::Trace(trace) => {
+                if trace.node_count() as usize != config.mesh.node_count() {
+                    return Err(ScenarioError::TraceNodeCount {
+                        trace_nodes: trace.node_count(),
+                        mesh_nodes: config.mesh.node_count(),
+                    });
+                }
+                let events = trace.len() as u64;
+                if events <= config.warmup_msgs {
+                    return Err(ScenarioError::TraceTooShort {
+                        events: trace.len(),
+                        warmup: config.warmup_msgs,
+                    });
+                }
+                config.measure_msgs = config.measure_msgs.min(events - config.warmup_msgs);
+            }
+        }
+
+        Ok(Scenario { config })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScenarioBuilder {
+        Scenario::builder().mesh_2d(4, 4).message_counts(50, 300)
+    }
+
+    fn tiny_trace(nodes: u32) -> Arc<Trace> {
+        let mut text = String::new();
+        for i in 0..20 {
+            text.push_str(&format!("{} {} {} 5\n", i * 3, i % nodes, (i + 1) % nodes));
+        }
+        Arc::new(Trace::parse(&text, nodes).unwrap())
+    }
+
+    #[test]
+    fn default_builder_is_the_paper_reference() {
+        let s = Scenario::builder().build().unwrap();
+        let reference = SimConfig::paper_adaptive(16, 16);
+        assert_eq!(s.config().mesh, reference.mesh);
+        assert_eq!(s.config().router, reference.router);
+        assert_eq!(s.config().seed, reference.seed);
+        assert_eq!(s.config().load, reference.load);
+    }
+
+    #[test]
+    fn invalid_load_is_rejected() {
+        assert_eq!(
+            small().load(0.0).build().unwrap_err(),
+            ScenarioError::InvalidLoad(0.0)
+        );
+        assert!(matches!(
+            small().load(f64::NAN).build().unwrap_err(),
+            ScenarioError::InvalidLoad(_)
+        ));
+    }
+
+    #[test]
+    fn empty_measurement_is_rejected() {
+        assert_eq!(
+            small().message_counts(10, 0).build().unwrap_err(),
+            ScenarioError::EmptyMeasurement
+        );
+    }
+
+    #[test]
+    fn escape_vc_shortage_is_an_error_not_a_panic() {
+        let err = small().vcs(4, 0).build().unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::EscapeVcs {
+                algorithm: Algorithm::Duato,
+                needed: 1,
+                have: 0
+            }
+        );
+        assert!(err.to_string().contains("deadlock freedom"));
+    }
+
+    #[test]
+    fn torus_duato_needs_two_dateline_escapes() {
+        let err = Scenario::builder()
+            .topology(Mesh::torus_2d(4, 4))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::EscapeVcs {
+                needed: 2,
+                have: 1,
+                ..
+            }
+        ));
+        // Providing them fixes it.
+        assert!(Scenario::builder()
+            .topology(Mesh::torus_2d(4, 4))
+            .vcs(4, 2)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn turn_models_reject_tori() {
+        let err = Scenario::builder()
+            .topology(Mesh::torus_2d(4, 4))
+            .vcs(4, 2)
+            .algorithm(Algorithm::NorthLast)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::AlgorithmTopology { .. }));
+        assert!(err.to_string().contains("torus"));
+    }
+
+    #[test]
+    fn impossible_burst_parameters_are_rejected() {
+        let err = small().load(0.5).bursty(100, 100.0).build().unwrap_err();
+        assert!(matches!(err, ScenarioError::BurstParams { .. }));
+        assert!(small().load(0.2).bursty(8, 2.0).build().is_ok());
+    }
+
+    #[test]
+    fn bernoulli_rejects_sub_cycle_gaps() {
+        // A huge load forces a mean gap below one cycle.
+        let err = small()
+            .load(100.0)
+            .arrivals(ArrivalKind::Bernoulli)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BernoulliGap { .. }));
+    }
+
+    #[test]
+    fn trace_node_count_must_match_topology() {
+        let err = small().trace(tiny_trace(9)).build().unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::TraceNodeCount {
+                trace_nodes: 9,
+                mesh_nodes: 16
+            }
+        );
+    }
+
+    #[test]
+    fn trace_measure_clamps_to_replay_length() {
+        let s = small()
+            .trace(tiny_trace(16))
+            .message_counts(5, 10_000)
+            .build()
+            .unwrap();
+        assert_eq!(s.config().measure_msgs, 15); // 20 events - 5 warm-up
+        let err = small()
+            .trace(tiny_trace(16))
+            .message_counts(20, 10)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::TraceTooShort { .. }));
+    }
+
+    #[test]
+    fn trace_scenario_runs_to_replay_exhaustion() {
+        let r = small()
+            .trace(tiny_trace(16))
+            .message_counts(0, 10_000)
+            .build()
+            .unwrap()
+            .run();
+        assert!(!r.saturated);
+        assert_eq!(r.messages, 20);
+        assert!(r.avg_latency > 0.0);
+        assert!(r.flit_hops > 0);
+    }
+
+    #[test]
+    fn bursty_scenario_runs() {
+        let r = small().bursty(6, 2.0).load(0.15).build().unwrap().run();
+        assert!(!r.saturated);
+        assert_eq!(r.messages, 300);
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let s = small().load(0.3).build().unwrap();
+        let again = s.to_builder().build().unwrap();
+        assert_eq!(s.config().load, again.config().load);
+    }
+}

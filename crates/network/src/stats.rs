@@ -38,6 +38,10 @@ pub struct SimResult {
     pub choice_fraction: f64,
     /// Mean utilization of the busiest direction link (flits per cycle).
     pub max_link_utilization: f64,
+    /// Total flits carried over direction links during the whole run —
+    /// the simulated-work unit behind the noise-robust flit-hops/second
+    /// performance metric.
+    pub flit_hops: u64,
 }
 
 impl SimResult {
@@ -57,6 +61,7 @@ impl SimResult {
             escape_fraction: 0.0,
             choice_fraction: 0.0,
             max_link_utilization: 0.0,
+            flit_hops: 0,
         }
     }
 

@@ -43,8 +43,9 @@
 //! assert_eq!(report.series().len(), 2);
 //! ```
 
-use crate::experiment::SimConfig;
+use crate::experiment::{Algorithm, SimConfig, WorkloadKind};
 use crate::report::SweepReport;
+use crate::scenario::{Scenario, ScenarioError};
 use crate::stats::SimResult;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -55,10 +56,120 @@ use std::sync::Mutex;
 pub struct SweepPoint {
     /// Report series this point belongs to ("LA, ADAPT", "LRU", ...).
     pub series: String,
-    /// The normalized load, echoed on the report's x-axis.
+    /// The x-axis value of this point — the normalized load for classic
+    /// load sweeps, or the swept [`ScenarioAxis`] value (burst length,
+    /// node count, ...) for scenario grids.
     pub load: f64,
     /// The full configuration to run.
     pub config: SimConfig,
+}
+
+/// One swept dimension of a [`Scenario`] — the generalization of the
+/// classic load-only series to any scenario axis.
+///
+/// Value axes (`Load`, `BurstLen`, `MeshExtent`) become one report series
+/// whose x-axis is the swept value, and their values must be strictly
+/// ascending so the saturation cut-off keeps its meaning (saturation is
+/// monotone along each of them). The enumerated `Algorithm` axis has no
+/// such order, so it expands to one single-point series per algorithm
+/// (labeled `"{label}/{algorithm}"`) and the cut-off stays per-curve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioAxis {
+    /// Sweep the normalized offered load.
+    Load(Vec<f64>),
+    /// Sweep the bursty workload's mean burst length (messages). Only
+    /// valid on scenarios with a bursty workload.
+    BurstLen(Vec<u32>),
+    /// Sweep the 2-D topology extent (width, height), keeping the mesh/
+    /// torus kind. The x-axis is the node count. Not valid for trace
+    /// workloads (a trace pins its node count).
+    MeshExtent(Vec<(u16, u16)>),
+    /// Enumerate routing algorithms at the scenario's fixed load.
+    Algorithm(Vec<Algorithm>),
+}
+
+impl ScenarioAxis {
+    /// A short name for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioAxis::Load(_) => "load",
+            ScenarioAxis::BurstLen(_) => "burst-length",
+            ScenarioAxis::MeshExtent(_) => "mesh-extent",
+            ScenarioAxis::Algorithm(_) => "algorithm",
+        }
+    }
+
+    /// Applies the axis to `base`, yielding the `(x, scenario)` points of
+    /// one series — each re-validated through the scenario builder.
+    fn apply(&self, base: &Scenario) -> Result<Vec<(f64, Scenario)>, ScenarioError> {
+        let ascending = |xs: &[f64]| xs.windows(2).all(|w| w[0] < w[1]);
+        let points: Vec<(f64, Scenario)> = match self {
+            ScenarioAxis::Load(loads) => {
+                // Trace replay carries its own timing and ignores the
+                // load field — a "load sweep" over it would just re-run
+                // the identical replay N times.
+                if matches!(base.config().workload, WorkloadKind::Trace(_)) {
+                    return Err(ScenarioError::AxisMismatch {
+                        axis: self.name(),
+                        workload: base.config().workload.name(),
+                    });
+                }
+                if !ascending(loads) {
+                    return Err(ScenarioError::AxisNotAscending { axis: self.name() });
+                }
+                loads
+                    .iter()
+                    .map(|&load| Ok((load, base.to_builder().load(load).build()?)))
+                    .collect::<Result<_, ScenarioError>>()?
+            }
+            ScenarioAxis::BurstLen(lens) => {
+                let WorkloadKind::Bursty { peak_gap, .. } = base.config().workload else {
+                    return Err(ScenarioError::AxisMismatch {
+                        axis: self.name(),
+                        workload: base.config().workload.name(),
+                    });
+                };
+                if !ascending(&lens.iter().map(|&l| l as f64).collect::<Vec<_>>()) {
+                    return Err(ScenarioError::AxisNotAscending { axis: self.name() });
+                }
+                lens.iter()
+                    .map(|&len| Ok((len as f64, base.to_builder().bursty(len, peak_gap).build()?)))
+                    .collect::<Result<_, ScenarioError>>()?
+            }
+            ScenarioAxis::MeshExtent(extents) => {
+                if matches!(base.config().workload, WorkloadKind::Trace(_)) {
+                    return Err(ScenarioError::AxisMismatch {
+                        axis: self.name(),
+                        workload: base.config().workload.name(),
+                    });
+                }
+                let nodes = |&(w, h): &(u16, u16)| w as f64 * h as f64;
+                if !ascending(&extents.iter().map(nodes).collect::<Vec<_>>()) {
+                    return Err(ScenarioError::AxisNotAscending { axis: self.name() });
+                }
+                let torus = base.config().mesh.is_torus();
+                extents
+                    .iter()
+                    .map(|&(w, h)| {
+                        let mesh = if torus {
+                            lapses_topology::Mesh::torus_2d(w, h)
+                        } else {
+                            lapses_topology::Mesh::mesh_2d(w, h)
+                        };
+                        Ok((
+                            (w as usize * h as usize) as f64,
+                            base.to_builder().topology(mesh).build()?,
+                        ))
+                    })
+                    .collect::<Result<_, ScenarioError>>()?
+            }
+            ScenarioAxis::Algorithm(algos) => algos
+                .iter()
+                .map(|&a| Ok((base.config().load, base.to_builder().algorithm(a).build()?)))
+                .collect::<Result<_, ScenarioError>>()?,
+        };
+        Ok(points)
+    }
 }
 
 /// A grid of simulation points, grouped into labeled series.
@@ -107,6 +218,54 @@ impl SweepGrid {
             series: label.into(),
             load,
             config,
+        });
+        self
+    }
+
+    /// Adds one series by sweeping `base` along a [`ScenarioAxis`]. Every
+    /// point re-validates through the scenario builder, so an axis value
+    /// that produces an inconsistent scenario is reported up front rather
+    /// than panicking mid-sweep.
+    ///
+    /// Value axes (load, burst length, mesh extent) become one series on
+    /// that x-axis; the enumerated algorithm axis becomes one single-point
+    /// series per algorithm, labeled `"{label}/{algorithm}"` (see
+    /// [`ScenarioAxis`]).
+    pub fn scenario_series(
+        mut self,
+        label: impl Into<String>,
+        base: &Scenario,
+        axis: &ScenarioAxis,
+    ) -> Result<SweepGrid, ScenarioError> {
+        let label = label.into();
+        for (i, (x, scenario)) in axis.apply(base)?.into_iter().enumerate() {
+            let series = match axis {
+                ScenarioAxis::Algorithm(algos) => {
+                    format!("{label}/{}", algos[i].name())
+                }
+                _ => label.clone(),
+            };
+            self.points.push(SweepPoint {
+                series,
+                load: x,
+                config: scenario.compile(),
+            });
+        }
+        Ok(self)
+    }
+
+    /// Adds a single scenario as a one-point series at x-value `x`
+    /// (useful for trace-replay scenarios, which have no load axis).
+    pub fn scenario_point(
+        mut self,
+        label: impl Into<String>,
+        x: f64,
+        scenario: &Scenario,
+    ) -> SweepGrid {
+        self.points.push(SweepPoint {
+            series: label.into(),
+            load: x,
+            config: scenario.compile(),
         });
         self
     }

@@ -1,0 +1,112 @@
+//! The Scenario API is a front end, not a fork: building the reference
+//! 16×16 synthetic scenario through `Scenario` must produce **bit-identical**
+//! `SimResult`s (cycles / messages / flit-hops / every latency float) to
+//! the classic `SimConfig` path, across the differential-testing toggles
+//! (active scheduling on/off × fused/staged pipeline × batched/per-flit
+//! delivery) and across arrival processes.
+
+use lapses_network::scenario::Scenario;
+use lapses_network::{ArrivalKind, Pattern, SimConfig, SimResult};
+
+/// The reference point, scaled to test time: the paper's 16×16 mesh and
+/// LA-ADAPT router, uniform traffic at 0.2 normalized load.
+fn reference_sim_config() -> SimConfig {
+    SimConfig::paper_adaptive_lookahead(16, 16)
+        .with_pattern(Pattern::Uniform)
+        .with_load(0.2)
+        .with_message_counts(300, 2_500)
+        .with_seed(1999)
+}
+
+fn reference_scenario() -> Scenario {
+    Scenario::builder()
+        .mesh_2d(16, 16)
+        .lookahead(true)
+        .pattern(Pattern::Uniform)
+        .load(0.2)
+        .message_counts(300, 2_500)
+        .seed(1999)
+        .build()
+        .expect("reference scenario is valid")
+}
+
+fn assert_bit_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a, b, "{what}: scenario path diverged from SimConfig path");
+    assert!(!a.saturated, "{what}: reference must not saturate");
+    assert_eq!(a.messages, 2_500, "{what}: full measurement window");
+    assert!(a.flit_hops > 0, "{what}: hops must be counted");
+}
+
+#[test]
+fn scenario_compiles_to_the_identical_config_shape() {
+    let compiled = reference_scenario().compile();
+    let direct = reference_sim_config();
+    assert_eq!(compiled.mesh, direct.mesh);
+    assert_eq!(compiled.router, direct.router);
+    assert_eq!(compiled.algorithm, direct.algorithm);
+    assert_eq!(compiled.workload, direct.workload);
+    assert_eq!(compiled.load, direct.load);
+    assert_eq!(compiled.seed, direct.seed);
+    assert_eq!(compiled.warmup_msgs, direct.warmup_msgs);
+    assert_eq!(compiled.measure_msgs, direct.measure_msgs);
+}
+
+#[test]
+fn reference_scenario_is_bit_identical_across_scheduler_toggles() {
+    for active in [true, false] {
+        let direct = reference_sim_config().with_active_scheduling(active).run();
+        let scenic = reference_scenario()
+            .to_builder()
+            .active_scheduling(active)
+            .build()
+            .unwrap()
+            .run();
+        assert_bit_identical(&scenic, &direct, &format!("active_scheduling={active}"));
+    }
+}
+
+#[test]
+fn reference_scenario_is_bit_identical_across_pipeline_and_delivery_toggles() {
+    let mut seen = Vec::new();
+    for fused in [true, false] {
+        for batched in [true, false] {
+            let direct = reference_sim_config()
+                .with_fused_pipeline(fused)
+                .with_batched_delivery(batched)
+                .run();
+            let scenic = reference_scenario()
+                .to_builder()
+                .fused_pipeline(fused)
+                .batched_delivery(batched)
+                .build()
+                .unwrap()
+                .run();
+            assert_bit_identical(
+                &scenic,
+                &direct,
+                &format!("fused={fused} batched={batched}"),
+            );
+            seen.push(scenic);
+        }
+    }
+    // The toggles themselves are also equivalence-preserving, so all four
+    // combinations must agree with each other — not just pairwise with
+    // their direct twin.
+    for r in &seen[1..] {
+        assert_eq!(r, &seen[0], "toggle combinations diverged");
+    }
+}
+
+#[test]
+fn bernoulli_arrivals_are_equivalent_through_both_fronts() {
+    let direct = reference_sim_config()
+        .with_arrivals(ArrivalKind::Bernoulli)
+        .run();
+    let scenic = reference_scenario()
+        .to_builder()
+        .arrivals(ArrivalKind::Bernoulli)
+        .build()
+        .unwrap()
+        .run();
+    assert_bit_identical(&scenic, &direct, "bernoulli arrivals");
+}

@@ -31,6 +31,8 @@
 pub mod arrivals;
 pub mod lengths;
 pub mod patterns;
+pub mod trace;
+pub mod workload;
 
 mod generator;
 
@@ -38,3 +40,5 @@ pub use arrivals::ArrivalProcess;
 pub use generator::{Generator, MessageSpec};
 pub use lengths::LengthDistribution;
 pub use patterns::TrafficPattern;
+pub use trace::{Trace, TraceError, TraceEvent, TraceWorkload};
+pub use workload::{OnOffWorkload, SyntheticWorkload, Workload};

@@ -34,11 +34,14 @@ fn main() {
 
     for (name, lengths) in workloads {
         let run = |lookahead: bool| {
-            SimConfig::paper_adaptive(16, 16)
-                .with_lookahead(lookahead)
-                .with_load(0.2)
-                .with_message_length(lengths)
-                .with_message_counts(500, 5_000)
+            Scenario::builder()
+                .mesh_2d(16, 16)
+                .lookahead(lookahead)
+                .load(0.2)
+                .lengths(lengths)
+                .message_counts(500, 5_000)
+                .build()
+                .expect("study scenario is valid")
                 .run()
         };
         let proud = run(false);

@@ -21,11 +21,14 @@ fn main() {
 
     for psh in PathSelection::paper_five() {
         let run = |load: f64| {
-            SimConfig::paper_adaptive(16, 16)
-                .with_path_selection(psh)
-                .with_pattern(Pattern::Transpose)
-                .with_load(load)
-                .with_message_counts(500, 5_000)
+            Scenario::builder()
+                .mesh_2d(16, 16)
+                .path_selection(psh)
+                .pattern(Pattern::Transpose)
+                .load(load)
+                .message_counts(500, 5_000)
+                .build()
+                .expect("heuristic scenario is valid")
                 .run()
         };
         let lo = run(0.2);

@@ -1,0 +1,79 @@
+//! Run scenarios from `.scn` spec files — the text front end of the
+//! Scenario API.
+//!
+//! With no arguments, every committed spec under `examples/scenarios/`
+//! is loaded, round-tripped through `parse → format → parse` (the two
+//! parses must agree exactly), validated, and run; pass spec paths to
+//! run your own. CI's `scenarios` step runs this binary so the committed
+//! specs can never rot.
+//!
+//! ```text
+//! cargo run --release --example scenario_from_spec [spec.scn ...]
+//! ```
+
+use lapses::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn spec_paths() -> Vec<PathBuf> {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if !args.is_empty() {
+        return args;
+    }
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("scenarios");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension()? == "scn").then_some(path)
+        })
+        .collect();
+    paths.sort();
+    paths
+}
+
+fn main() {
+    let paths = spec_paths();
+    assert!(!paths.is_empty(), "no .scn files found");
+    println!("Running {} scenario spec(s):\n", paths.len());
+
+    for path in paths {
+        let spec = match ScenarioSpec::load(&path) {
+            Ok(spec) => spec,
+            Err(e) => panic!("{}: {e}", path.display()),
+        };
+
+        // parse → format → parse must be the identity.
+        let reparsed = ScenarioSpec::parse(&spec.format()).unwrap_or_else(|e| {
+            panic!("{}: canonical form fails to re-parse: {e}", path.display())
+        });
+        assert_eq!(
+            spec,
+            reparsed,
+            "{}: parse→format→parse is not the identity",
+            path.display()
+        );
+
+        let base = path.parent().unwrap_or(Path::new("."));
+        let scenario = match spec.to_scenario(base) {
+            Ok(s) => s,
+            Err(e) => panic!("{}: {e}", path.display()),
+        };
+
+        let start = std::time::Instant::now();
+        let result = scenario.run();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        println!(
+            "{:<20} {:>9} latency | {:>6} msgs | {:>8} cycles | {:>9} flit-hops | {:.2?}",
+            name,
+            result.latency_cell(),
+            result.messages,
+            result.cycles,
+            result.flit_hops,
+            start.elapsed()
+        );
+    }
+
+    println!("\nAll specs round-tripped, validated, and ran.");
+}

@@ -41,11 +41,14 @@ fn main() {
     ];
     for (name, kind) in schemes {
         let run = |load: f64| {
-            SimConfig::paper_adaptive(16, 16)
-                .with_table(kind.clone())
-                .with_pattern(Pattern::Transpose)
-                .with_load(load)
-                .with_message_counts(500, 5_000)
+            Scenario::builder()
+                .mesh_2d(16, 16)
+                .table(kind.clone())
+                .pattern(Pattern::Transpose)
+                .load(load)
+                .message_counts(500, 5_000)
+                .build()
+                .expect("scheme scenario is valid")
                 .run()
                 .latency_cell()
         };

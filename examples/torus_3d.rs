@@ -3,7 +3,9 @@
 //!
 //! §5.2.1 claims the scheme generalizes ("a 3^n size table would suffice"
 //! for n-dimensional meshes; tori and irregular topologies per the tech
-//! report). This example runs both systems end-to-end.
+//! report). This example runs both systems end-to-end through the
+//! Scenario API — note how the builder *rejects* the torus until it gets
+//! the two dateline escape VCs Duato's protocol needs there.
 //!
 //! ```text
 //! cargo run --release --example torus_3d
@@ -16,11 +18,13 @@ fn main() {
     let mesh3d = Mesh::mesh_3d(6, 6, 6);
     println!("3-D mesh {mesh3d}: 216 nodes, 7-port routers, 27-entry ES tables");
     for kind in [TableKind::Full, TableKind::Economical] {
-        let r = SimConfig::paper_adaptive(16, 16)
-            .with_mesh(mesh3d.clone())
-            .with_table(kind.clone())
-            .with_load(0.3)
-            .with_message_counts(400, 4_000)
+        let r = Scenario::builder()
+            .topology(mesh3d.clone())
+            .table(kind.clone())
+            .load(0.3)
+            .message_counts(400, 4_000)
+            .build()
+            .expect("3-D mesh scenario is valid")
             .run();
         println!(
             "  {:<12} latency {:>8}  (escape fraction {:.3})",
@@ -33,14 +37,24 @@ fn main() {
     // --- 2-D torus: wrap links need two dateline escape subclasses. ---
     let torus = Mesh::torus_2d(8, 8);
     println!("\n2-D torus {torus}: dateline escape uses 2 escape VCs");
+
+    // With the default single escape VC the scenario does not validate:
+    let err = Scenario::builder()
+        .topology(torus.clone())
+        .build()
+        .expect_err("a torus needs two dateline escape subclasses");
+    println!("  (builder rejects 1 escape VC: {err})");
+
     for kind in [TableKind::Full, TableKind::Economical] {
-        let mut cfg = SimConfig::paper_adaptive(16, 16)
-            .with_mesh(torus.clone())
-            .with_table(kind.clone())
-            .with_load(0.3)
-            .with_message_counts(400, 4_000);
-        cfg.router = RouterConfig::paper_adaptive().with_vcs(4, 2);
-        let r = cfg.run();
+        let r = Scenario::builder()
+            .topology(torus.clone())
+            .vcs(4, 2)
+            .table(kind.clone())
+            .load(0.3)
+            .message_counts(400, 4_000)
+            .build()
+            .expect("torus scenario is valid with 2 escape VCs")
+            .run();
         println!(
             "  {:<12} latency {:>8}  (escape fraction {:.3})",
             kind.name(),

@@ -24,41 +24,86 @@
 //!
 //! # Quickstart
 //!
-//! One simulation point — the paper's LA-ADAPT router on a small mesh,
-//! uniform traffic at 20% of bisection saturation:
+//! Experiments are described as [`Scenario`](network::scenario::Scenario)s:
+//! a validated composition of topology, router, routing algorithm, table
+//! scheme, **workload**, and run policy that *compiles* to the internal
+//! [`SimConfig`](network::SimConfig) the cycle loop executes. One point —
+//! the paper's LA-ADAPT router on a small mesh, uniform traffic at 20% of
+//! bisection saturation:
 //!
 //! ```
 //! use lapses::prelude::*;
 //!
-//! let result = SimConfig::paper_adaptive_lookahead(8, 8)
-//!     .with_pattern(Pattern::Uniform)
-//!     .with_load(0.2)
-//!     .with_message_counts(200, 2_000)
+//! let result = Scenario::builder()
+//!     .mesh_2d(8, 8)
+//!     .lookahead(true)
+//!     .pattern(Pattern::Uniform)
+//!     .load(0.2)
+//!     .message_counts(200, 2_000)
+//!     .build()
+//!     .unwrap()
 //!     .run();
 //! println!("average network latency: {:.1} cycles", result.avg_latency);
 //! assert!(!result.saturated);
 //! ```
 //!
-//! Whole figures are grids of such points (patterns × loads × router
-//! configurations); [`SweepRunner`](network::SweepRunner) executes a grid
-//! on every core and aggregates a [`SweepReport`](network::SweepReport)
-//! that is bit-identical to a single-threaded run of the same master seed:
+//! Workloads are pluggable ([`traffic::Workload`]): the synthetic
+//! pattern × arrival-process generator above, an ON/OFF bursty source
+//! (`.bursty(burst_len, peak_gap)`), or replay of a recorded
+//! `cycle src dst len` text trace (`.trace(...)`,
+//! [`traffic::Trace`]). Validation catches inconsistent compositions —
+//! escape-VC shortages, turn models on tori, impossible burst shapes —
+//! as typed errors instead of mid-run panics.
+//!
+//! Whole figures are grids of scenarios swept along
+//! [`ScenarioAxis`](network::ScenarioAxis) dimensions (load, burst
+//! length, algorithm, topology extent);
+//! [`SweepRunner`](network::SweepRunner) executes a grid on every core
+//! and aggregates a [`SweepReport`](network::SweepReport) that is
+//! bit-identical to a single-threaded run of the same master seed:
 //!
 //! ```
 //! use lapses::prelude::*;
 //!
-//! let base = SimConfig::paper_adaptive_lookahead(4, 4).with_message_counts(50, 400);
+//! let base = Scenario::builder()
+//!     .mesh_2d(4, 4)
+//!     .lookahead(true)
+//!     .message_counts(50, 400);
+//! let uniform = base.clone().pattern(Pattern::Uniform).build().unwrap();
+//! let bursty = base.pattern(Pattern::Transpose).bursty(4, 2.0).build().unwrap();
 //! let grid = SweepGrid::new()
-//!     .series("uniform", base.clone().with_pattern(Pattern::Uniform), &[0.1, 0.2])
-//!     .series("transpose", base.with_pattern(Pattern::Transpose), &[0.1, 0.2]);
+//!     .scenario_series("uniform", &uniform, &ScenarioAxis::Load(vec![0.1, 0.2]))
+//!     .unwrap()
+//!     .scenario_series("bursty", &bursty, &ScenarioAxis::BurstLen(vec![2, 8]))
+//!     .unwrap();
 //! let report = SweepRunner::new().with_master_seed(7).run(&grid);
 //! println!("{}", report.to_table());
 //! assert!(report.saturation_summary().iter().all(|s| s.saturation_load.is_none()));
 //! ```
 //!
+//! Scenarios also have a text form, [`ScenarioSpec`](network::ScenarioSpec)
+//! (`examples/scenarios/*.scn`), with an exact parse/format round-trip —
+//! so sweeps can be driven from committed spec files:
+//!
+//! ```
+//! use lapses::prelude::*;
+//!
+//! let spec = ScenarioSpec::parse(
+//!     "topology = mesh 8x8\n\
+//!      lookahead = true\n\
+//!      workload = bursty 8 2\n\
+//!      load = 0.15\n\
+//!      warmup = 50\n\
+//!      measure = 400\n",
+//! ).unwrap();
+//! assert_eq!(ScenarioSpec::parse(&spec.format()).unwrap(), spec);
+//! let scenario = spec.to_scenario(std::path::Path::new(".")).unwrap();
+//! assert!(!scenario.run().saturated);
+//! ```
+//!
 //! The `lapses-bench` crate regenerates every table and figure of the
-//! paper's evaluation on top of the same sweep engine; run e.g.
-//! `cargo bench -p lapses-bench --bench fig5_lookahead`.
+//! paper's evaluation on top of the same scenario + sweep engine; run
+//! e.g. `cargo bench -p lapses-bench --bench fig5_lookahead`.
 //!
 //! # Performance
 //!
@@ -81,10 +126,13 @@
 //! (`cargo bench -p lapses-bench --bench perf_sweep`) runs a pinned
 //! 16×16 sweep at 0.2 normalized load and writes
 //! `bench_results/BENCH_sweep.json` (wall seconds, simulated cycles/sec,
-//! delivered flits/sec) so the perf trajectory is tracked PR over PR; CI
-//! uploads it as an artifact. Introducing the scheduler and the lean
-//! flit path raised it from ~25.6k to ~55.2k simulated cycles/sec
-//! (≈2.15×) on the reference machine.
+//! delivered flits/sec, plus the noise-robust flit-hops-per-second score
+//! taken as the best of `LAPSES_BENCH_REPS` short repetitions) so the
+//! perf trajectory is tracked PR over PR; CI uploads it as an artifact
+//! and the `perf_guard` binary fails the build on regressions against
+//! the committed baseline. Introducing the scheduler and the lean flit
+//! path raised it from ~25.6k to ~55.2k simulated cycles/sec (≈2.15×)
+//! on the reference machine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -104,11 +152,12 @@ pub mod prelude {
     };
     pub use lapses_core::{PipelineModel, RouterConfig};
     pub use lapses_network::{
-        Algorithm, CutoffPolicy, Pattern, SimConfig, SimResult, SweepGrid, SweepReport,
-        SweepRunner, TableKind,
+        Algorithm, ArrivalKind, CutoffPolicy, Pattern, Scenario, ScenarioAxis, ScenarioBuilder,
+        ScenarioError, ScenarioSpec, SimConfig, SimResult, SpecError, SweepGrid, SweepReport,
+        SweepRunner, TableKind, WorkloadKind,
     };
     pub use lapses_routing::{DimensionOrder, DuatoAdaptive, RoutingAlgorithm};
     pub use lapses_sim::{Cycle, SimRng};
     pub use lapses_topology::{Mesh, NodeId, Port, PortSet};
-    pub use lapses_traffic::{LengthDistribution, TrafficPattern};
+    pub use lapses_traffic::{LengthDistribution, Trace, TraceWorkload, TrafficPattern, Workload};
 }

@@ -1,0 +1,84 @@
+//! Tier-1 guard for the committed scenario specs: every `examples/
+//! scenarios/*.scn` must parse, round-trip `parse → format → parse`
+//! exactly, and validate into a runnable scenario (trace paths resolve
+//! relative to the spec file). CI's `scenarios` step additionally *runs*
+//! them via the `scenario_from_spec` example.
+
+use lapses::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn committed_specs() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join("scenarios");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/scenarios must exist")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension()? == "scn").then_some(path)
+        })
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn committed_specs_exist_and_cover_every_workload_family() {
+    let names: Vec<String> = committed_specs()
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    assert!(names.len() >= 3, "specs: {names:?}");
+    for expected in ["quickstart.scn", "bursty.scn", "trace_replay.scn"] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn committed_specs_round_trip_exactly() {
+    for path in committed_specs() {
+        let spec = ScenarioSpec::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let formatted = spec.format();
+        let reparsed = ScenarioSpec::parse(&formatted)
+            .unwrap_or_else(|e| panic!("{}: canonical form failed: {e}", path.display()));
+        assert_eq!(
+            spec,
+            reparsed,
+            "{}: parse→format→parse is not the identity",
+            path.display()
+        );
+        // And the canonical form is a fixed point of format.
+        assert_eq!(formatted, reparsed.format(), "{}", path.display());
+    }
+}
+
+#[test]
+fn committed_specs_validate_into_scenarios() {
+    for path in committed_specs() {
+        let spec = ScenarioSpec::load(&path).unwrap();
+        let base = path.parent().unwrap();
+        let scenario = spec
+            .to_scenario(base)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Compiled form is sane without running the full scenario here
+        // (the scenario_from_spec example runs them in CI).
+        assert!(scenario.config().measure_msgs > 0);
+        assert!(
+            scenario.config().mesh.node_count() > 0,
+            "{}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn trace_spec_replays_the_fixture() {
+    let path = committed_specs()
+        .into_iter()
+        .find(|p| p.file_name().unwrap() == "trace_replay.scn")
+        .expect("trace spec is committed");
+    let spec = ScenarioSpec::load(&path).unwrap();
+    let result = spec.to_scenario(path.parent().unwrap()).unwrap().run();
+    assert!(!result.saturated);
+    assert_eq!(result.messages, 16); // every fixture event measured
+}
