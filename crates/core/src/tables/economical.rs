@@ -3,7 +3,7 @@
 use crate::tables::cost::StorageCost;
 use crate::tables::{RouteEntry, TableScheme};
 use lapses_routing::{torus_dateline_subclass, RoutingAlgorithm};
-use lapses_topology::{Mesh, NodeId, Sign, SignVec};
+use lapses_topology::{FaultyMesh, Mesh, NodeId, Sign, SignVec};
 
 /// The 3ⁿ-entry economical-storage (ES) routing table.
 ///
@@ -41,6 +41,15 @@ pub struct EconomicalTable {
     mesh: Mesh,
     /// `entries[node][sign_index]`; 3ⁿ entries per node.
     entries: Vec<Vec<RouteEntry>>,
+    /// Per-destination overrides (`(dest, entry)` sorted by dest id) for
+    /// relations the sign index cannot express — the small exception CAM
+    /// an irregular-network ES table carries. Empty for source-relative
+    /// algorithms on perfect meshes, so the classic lookup is untouched.
+    exceptions: Vec<Vec<(u32, RouteEntry)>>,
+    /// Whether [`TableScheme::entry`] recomputes the torus dateline
+    /// subclass positionally (the classic §5.2.1 extension). Faulty
+    /// programs store the subclass verbatim instead.
+    recompute_dateline: bool,
 }
 
 impl EconomicalTable {
@@ -105,7 +114,101 @@ impl EconomicalTable {
         EconomicalTable {
             mesh: mesh.clone(),
             entries,
+            exceptions: vec![Vec::new(); mesh.node_count()],
+            recompute_dateline: true,
         }
+    }
+
+    /// Compiles an economical table for an *arbitrary* routing relation
+    /// over a faulty (or perfect) topology — the table-programming story
+    /// for irregular networks.
+    ///
+    /// Up*/down* routes around dead links are not functions of the sign
+    /// vector alone, so the 3ⁿ base table cannot be lossless by itself.
+    /// Instead, each sign class is programmed with the entry shared by the
+    /// *most* destinations of the class, and every disagreeing
+    /// destination goes into a small per-router exception store (the CAM
+    /// a real ES router would add for irregular networks). The result is
+    /// exactly lossless for any relation; for source-relative algorithms
+    /// on fault-free meshes the exception store is empty and the table
+    /// degenerates to the classic 3ⁿ program (asserted by tests).
+    pub fn program_faulty(fmesh: &FaultyMesh, algo: &dyn RoutingAlgorithm) -> EconomicalTable {
+        let mesh = fmesh.mesh();
+        let dims = mesh.dims();
+        let table_len = SignVec::table_len(dims);
+        let n = mesh.node_count();
+        let mut entries = vec![vec![RouteEntry::unprogrammed(); table_len]; n];
+        let mut exceptions = vec![Vec::new(); n];
+
+        for node in mesh.nodes() {
+            // Gather every destination's true entry, grouped by sign class.
+            let mut by_class: Vec<Vec<(u32, RouteEntry)>> = vec![Vec::new(); table_len];
+            for dest in mesh.nodes() {
+                let entry = if node == dest {
+                    RouteEntry::local()
+                } else {
+                    RouteEntry {
+                        candidates: algo.candidates(mesh, node, dest),
+                        escape: algo.escape_port(mesh, node, dest),
+                        escape_subclass: algo.escape_subclass(mesh, node, dest) as u8,
+                    }
+                };
+                let idx = relative_sign(mesh, node, dest).table_index();
+                by_class[idx].push((dest.0, entry));
+            }
+            // Base entry per class: the mode, first-appearance tie-break
+            // (deterministic); everything else becomes an exception.
+            for (idx, members) in by_class.iter().enumerate() {
+                if members.is_empty() {
+                    continue;
+                }
+                let mut tally: Vec<(RouteEntry, usize)> = Vec::new();
+                for (_, e) in members {
+                    match tally.iter_mut().find(|(t, _)| t == e) {
+                        Some((_, c)) => *c += 1,
+                        None => tally.push((*e, 1)),
+                    }
+                }
+                // `tally` is in first-appearance order and `>` keeps the
+                // earliest of equally-frequent entries, so the tie-break
+                // really is first-appearance (max_by_key would keep the
+                // last).
+                let base = tally
+                    .iter()
+                    .fold(None::<(RouteEntry, usize)>, |best, &(e, c)| match best {
+                        Some((_, bc)) if c <= bc => best,
+                        _ => Some((e, c)),
+                    })
+                    .map(|(e, _)| e)
+                    .expect("class is non-empty");
+                entries[node.index()][idx] = base;
+                for (dest, e) in members {
+                    if *e != base {
+                        exceptions[node.index()].push((*dest, *e));
+                    }
+                }
+            }
+            exceptions[node.index()].sort_unstable_by_key(|(d, _)| *d);
+        }
+
+        EconomicalTable {
+            mesh: mesh.clone(),
+            entries,
+            exceptions,
+            recompute_dateline: false,
+        }
+    }
+
+    /// Exception entries across all routers (0 for source-relative
+    /// algorithms on fault-free meshes).
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.iter().map(Vec::len).sum()
+    }
+
+    /// The largest per-router exception store — the extra entries one
+    /// router's hardware table would need on top of the 3ⁿ base.
+    pub fn max_exceptions_per_router(&self) -> usize {
+        self.exceptions.iter().map(Vec::len).max().unwrap_or(0)
     }
 }
 
@@ -145,16 +248,25 @@ impl TableScheme for EconomicalTable {
     }
 
     fn entry(&self, node: NodeId, dest: NodeId) -> RouteEntry {
+        let exceptions = &self.exceptions[node.index()];
+        if !exceptions.is_empty() {
+            if let Ok(i) = exceptions.binary_search_by_key(&dest.0, |(d, _)| *d) {
+                return exceptions[i].1;
+            }
+        }
         let sv = relative_sign(&self.mesh, node, dest);
         let mut e = self.entries[node.index()][sv.table_index()];
-        if self.mesh.is_torus() {
+        if self.recompute_dateline && self.mesh.is_torus() {
             e.escape_subclass = torus_dateline_subclass(&self.mesh, node, dest, e.escape) as u8;
         }
         e
     }
 
     fn storage(&self) -> StorageCost {
-        StorageCost::for_scheme(&self.mesh, SignVec::table_len(self.mesh.dims()))
+        StorageCost::for_scheme(
+            &self.mesh,
+            SignVec::table_len(self.mesh.dims()) + self.max_exceptions_per_router(),
+        )
     }
 }
 
@@ -261,6 +373,55 @@ mod tests {
                 assert_eq!(relative_sign(&mesh, node, dest), direct);
             }
         }
+    }
+
+    #[test]
+    fn faulty_program_is_lossless_and_exception_free_when_source_relative() {
+        use lapses_topology::{FaultSet, FaultyMesh};
+        // A fault-free faulty-view program of a source-relative algorithm
+        // needs no exceptions and matches the classic program everywhere.
+        let mesh = Mesh::mesh_2d(6, 6);
+        let fmesh = FaultyMesh::new(mesh.clone(), FaultSet::empty()).unwrap();
+        let algo = DuatoAdaptive::new();
+        let faulty = EconomicalTable::program_faulty(&fmesh, &algo);
+        assert_eq!(faulty.exception_count(), 0);
+        assert_eq!(faulty.storage().entries_per_router, 9);
+        let classic = EconomicalTable::program(&mesh, &algo);
+        for node in mesh.nodes() {
+            for dest in mesh.nodes() {
+                assert_eq!(faulty.entry(node, dest), classic.entry(node, dest));
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_program_reproduces_updown_exactly() {
+        use lapses_routing::UpDown;
+        use lapses_topology::{FaultSet, FaultyMesh};
+        use std::sync::Arc;
+        let mesh = Mesh::mesh_2d(5, 5);
+        let faults = FaultSet::random(&mesh, 3, 17).unwrap();
+        let fmesh = Arc::new(FaultyMesh::new(mesh.clone(), faults).unwrap());
+        let algo = UpDown::adaptive(Arc::clone(&fmesh));
+        let table = EconomicalTable::program_faulty(&fmesh, &algo);
+        let full = FullTable::program(&mesh, &algo);
+        for node in mesh.nodes() {
+            for dest in mesh.nodes() {
+                assert_eq!(
+                    table.entry(node, dest),
+                    full.entry(node, dest),
+                    "exception table lost {node}->{dest}"
+                );
+            }
+        }
+        // Up*/down* around faults is not sign-consistent: some exceptions
+        // exist, but far fewer than a full table's 25 entries per router.
+        assert!(table.exception_count() > 0);
+        assert!(table.max_exceptions_per_router() < mesh.node_count());
+        assert_eq!(
+            table.storage().entries_per_router,
+            9 + table.max_exceptions_per_router()
+        );
     }
 
     #[test]

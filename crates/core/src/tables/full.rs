@@ -3,7 +3,7 @@
 use crate::tables::cost::StorageCost;
 use crate::tables::{RouteEntry, TableScheme};
 use lapses_routing::RoutingAlgorithm;
-use lapses_topology::{Mesh, NodeId};
+use lapses_topology::{FaultyMesh, Mesh, NodeId};
 
 /// The conventional complete routing table (§5: "a distinct routing table
 /// entry is available for every destination node") — the baseline the
@@ -54,6 +54,28 @@ impl FullTable {
             mesh: mesh.clone(),
             entries,
         }
+    }
+
+    /// Compiles a full table over a faulty topology, asserting that no
+    /// programmed entry — candidate or escape — ever crosses a dead link.
+    /// Per-destination tables express irregular relations natively, so
+    /// this is [`FullTable::program`] plus the safety check.
+    pub fn program_faulty(fmesh: &FaultyMesh, algo: &dyn RoutingAlgorithm) -> FullTable {
+        let table = Self::program(fmesh.mesh(), algo);
+        for node in fmesh.mesh().nodes() {
+            for dest in fmesh.mesh().nodes() {
+                let e = table.entry(node, dest);
+                for p in e.candidates.iter().chain(e.escape) {
+                    if let Some(dir) = p.direction() {
+                        assert!(
+                            fmesh.neighbor(node, dir).is_some(),
+                            "table entry {node}->{dest} routes over the dead link {node} {dir}"
+                        );
+                    }
+                }
+            }
+        }
+        table
     }
 }
 

@@ -2,18 +2,28 @@
 
 use crate::tables::cost::StorageCost;
 use crate::tables::{RouteEntry, TableScheme};
-use lapses_topology::{Direction, Mesh, NodeId, Port, PortSet};
+use lapses_routing::RoutingAlgorithm;
+use lapses_topology::{Direction, FaultyMesh, Mesh, NodeId, Port, PortSet};
 
-/// Interval (universal) routing: each output port is labeled with one
-/// contiguous interval of destination identifiers, so the table has only
-/// as many entries as the router has ports — the smallest possible size,
-/// used by the Transputer C-104 switch.
+/// Interval (universal) routing: each output port is labeled with
+/// contiguous intervals of destination identifiers, so the table has only
+/// as many entries as the router has interval labels — the smallest
+/// possible size, used by the Transputer C-104 switch.
 ///
 /// The catch, per the paper: it "is not readily receptive to adaptive
 /// routing" and needs a compatible node labeling. With the mesh's row-major
 /// labels, *Y-then-X* dimension-order routing partitions destinations into
 /// one interval per port (all lower rows, all higher rows, left in row,
-/// right in row, self), which is what this program compiles.
+/// right in row, self), which is what [`IntervalTable::program`] compiles —
+/// exactly one interval per port, the classic C-104 cost.
+///
+/// On an irregular (faulty) topology no labeling keeps every port's
+/// destination set contiguous, so [`IntervalTable::program_faulty`]
+/// generalizes to a *run list*: the deterministic escape relation's
+/// next-hop port, run-length encoded over the row-major labels. Storage is
+/// counted in runs — the honest price interval routing pays for
+/// irregularity (and the reason the paper's programmable tables win
+/// there).
 ///
 /// # Example
 ///
@@ -28,8 +38,12 @@ use lapses_topology::{Direction, Mesh, NodeId, Port, PortSet};
 #[derive(Debug)]
 pub struct IntervalTable {
     mesh: Mesh,
-    /// `intervals[node][port_index]` — half-open id interval `[lo, hi)`.
-    intervals: Vec<Vec<Option<(u32, u32)>>>,
+    /// `runs[node]`: `(lo, hi, port)` half-open id runs sorted by `lo`,
+    /// jointly covering every destination id exactly once.
+    runs: Vec<Vec<(u32, u32, Port)>>,
+    /// Hardware entries per router: the worst-case run count (equals
+    /// `ports_per_router` for the classic Y-then-X program).
+    entries_per_router: usize,
 }
 
 impl IntervalTable {
@@ -39,45 +53,100 @@ impl IntervalTable {
     /// # Panics
     ///
     /// Panics on tori (wrap-around breaks interval contiguity under this
-    /// labeling) and — defensively — if the computed destination sets are
-    /// not contiguous, which would indicate an incompatible labeling.
+    /// labeling) and — defensively — if any port's destination set is not
+    /// one contiguous interval, which would indicate an incompatible
+    /// labeling.
     pub fn program(mesh: &Mesh) -> IntervalTable {
         assert!(
             !mesh.is_torus(),
             "interval routing here supports meshes only"
         );
-        let ports = mesh.ports_per_router();
-        let mut intervals = Vec::with_capacity(mesh.node_count());
-        for node in mesh.nodes() {
-            // Gather each port's destination set under YX routing.
-            let mut sets: Vec<Vec<u32>> = vec![Vec::new(); ports];
-            for dest in mesh.nodes() {
-                let port = yx_port(mesh, node, dest);
-                sets[port.index()].push(dest.0);
+        let table = Self::from_relation(mesh, |node, dest| yx_port(mesh, node, dest));
+        // The classic labeling claim: one interval per port, so the run
+        // count never exceeds the port count.
+        for (node, runs) in table.runs.iter().enumerate() {
+            let mut ports_seen = PortSet::EMPTY;
+            for &(_, _, port) in runs {
+                assert!(
+                    !ports_seen.contains(port),
+                    "port {port} of n{node} has a non-contiguous destination set"
+                );
+                ports_seen.insert(port);
             }
-            let row: Vec<Option<(u32, u32)>> = sets
-                .into_iter()
-                .enumerate()
-                .map(|(pi, ids)| {
-                    if ids.is_empty() {
-                        return None;
-                    }
-                    let lo = *ids.first().expect("non-empty");
-                    let hi = *ids.last().expect("non-empty") + 1;
-                    assert_eq!(
-                        (hi - lo) as usize,
-                        ids.len(),
-                        "port {pi} of {node} has a non-contiguous destination set"
-                    );
-                    Some((lo, hi))
-                })
-                .collect();
-            intervals.push(row);
+        }
+        IntervalTable {
+            entries_per_router: mesh.ports_per_router(),
+            ..table
+        }
+    }
+
+    /// Compiles a run-list interval table from an arbitrary deterministic
+    /// escape relation over a faulty (or perfect) topology — e.g.
+    /// up*/down* routes around dead links. Storage is the worst-case
+    /// per-router run count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm needs more than one escape subclass (run
+    /// lists store a port per destination range, no dateline state) or if
+    /// it routes over a dead link.
+    pub fn program_faulty(fmesh: &FaultyMesh, algo: &dyn RoutingAlgorithm) -> IntervalTable {
+        let mesh = fmesh.mesh();
+        assert_eq!(
+            algo.escape_subclasses(mesh),
+            1,
+            "interval runs cannot encode dateline subclasses"
+        );
+        let table = Self::from_relation(mesh, |node, dest| {
+            if node == dest {
+                return Port::LOCAL;
+            }
+            let port = algo
+                .escape_port(mesh, node, dest)
+                .expect("escape route exists away from dest");
+            let dir = port.direction().expect("escape is a network port");
+            assert!(
+                fmesh.neighbor(node, dir).is_some(),
+                "escape relation routed over the dead link {node} {dir}"
+            );
+            port
+        });
+        let entries_per_router = table.runs.iter().map(Vec::len).max().unwrap_or(0);
+        IntervalTable {
+            entries_per_router,
+            ..table
+        }
+    }
+
+    /// Run-length encodes `port_of(node, dest)` over the row-major ids.
+    fn from_relation(mesh: &Mesh, port_of: impl Fn(NodeId, NodeId) -> Port) -> IntervalTable {
+        let mut runs = Vec::with_capacity(mesh.node_count());
+        for node in mesh.nodes() {
+            let mut row: Vec<(u32, u32, Port)> = Vec::new();
+            for dest in mesh.nodes() {
+                let port = port_of(node, dest);
+                match row.last_mut() {
+                    Some((_, hi, p)) if *p == port && *hi == dest.0 => *hi += 1,
+                    _ => row.push((dest.0, dest.0 + 1, port)),
+                }
+            }
+            runs.push(row);
         }
         IntervalTable {
             mesh: mesh.clone(),
-            intervals,
+            runs,
+            entries_per_router: 0,
         }
+    }
+
+    /// The `(lo, hi)` runs labeled with `port` at `node` (test hook and
+    /// storage introspection).
+    pub fn runs_for(&self, node: NodeId, port: Port) -> Vec<(u32, u32)> {
+        self.runs[node.index()]
+            .iter()
+            .filter(|(_, _, p)| *p == port)
+            .map(|&(lo, hi, _)| (lo, hi))
+            .collect()
     }
 }
 
@@ -107,29 +176,27 @@ impl TableScheme for IntervalTable {
     }
 
     fn entry(&self, node: NodeId, dest: NodeId) -> RouteEntry {
-        if node == dest {
+        let runs = &self.runs[node.index()];
+        let i = runs
+            .partition_point(|&(_, hi, _)| hi <= dest.0)
+            .min(runs.len().saturating_sub(1));
+        let (lo, hi, port) = runs[i];
+        assert!(
+            (lo..hi).contains(&dest.0),
+            "interval labeling does not cover {dest} at {node}"
+        );
+        if port.is_local() {
             return RouteEntry::local();
         }
-        for (pi, iv) in self.intervals[node.index()].iter().enumerate() {
-            if let Some((lo, hi)) = iv {
-                if (*lo..*hi).contains(&dest.0) {
-                    let port = Port::from_index(pi);
-                    if port.is_local() {
-                        return RouteEntry::local();
-                    }
-                    return RouteEntry {
-                        candidates: PortSet::single(port),
-                        escape: Some(port),
-                        escape_subclass: 0,
-                    };
-                }
-            }
+        RouteEntry {
+            candidates: PortSet::single(port),
+            escape: Some(port),
+            escape_subclass: 0,
         }
-        unreachable!("interval labeling does not cover {dest} at {node}")
     }
 
     fn storage(&self) -> StorageCost {
-        StorageCost::for_scheme(&self.mesh, self.mesh.ports_per_router())
+        StorageCost::for_scheme(&self.mesh, self.entries_per_router)
     }
 }
 
@@ -184,15 +251,9 @@ mod tests {
         let node = mesh.id_at(&[5, 5]).unwrap();
         let minus_y = Port::from(Direction::minus(1));
         // All of rows 0..5 (ids 0..80) route -Y.
-        assert_eq!(
-            table.intervals[node.index()][minus_y.index()],
-            Some((0, 80))
-        );
+        assert_eq!(table.runs_for(node, minus_y), vec![(0, 80)]);
         let plus_y = Port::from(Direction::plus(1));
-        assert_eq!(
-            table.intervals[node.index()][plus_y.index()],
-            Some((96, 256))
-        );
+        assert_eq!(table.runs_for(node, plus_y), vec![(96, 256)]);
     }
 
     #[test]
@@ -207,5 +268,60 @@ mod tests {
     #[should_panic(expected = "meshes only")]
     fn torus_rejected() {
         let _ = IntervalTable::program(&Mesh::torus_2d(4, 4));
+    }
+
+    #[test]
+    fn faulty_runs_reproduce_the_updown_escape() {
+        use lapses_routing::UpDown;
+        use lapses_topology::{FaultSet, FaultyMesh};
+        use std::sync::Arc;
+        let mesh = Mesh::mesh_2d(5, 5);
+        let faults = FaultSet::random(&mesh, 3, 23).unwrap();
+        let fmesh = Arc::new(FaultyMesh::new(mesh.clone(), faults).unwrap());
+        let algo = UpDown::new(Arc::clone(&fmesh));
+        let table = IntervalTable::program_faulty(&fmesh, &algo);
+        for node in mesh.nodes() {
+            for dest in mesh.nodes() {
+                let e = table.entry(node, dest);
+                if node == dest {
+                    assert!(e.is_local());
+                } else {
+                    assert_eq!(e.escape, algo.escape_port(&mesh, node, dest));
+                }
+            }
+        }
+        // Irregularity fragments the labels: more runs than ports, but
+        // still far fewer than one entry per destination.
+        let per_router = table.storage().entries_per_router;
+        assert!(per_router > 0 && per_router < mesh.node_count());
+    }
+
+    #[test]
+    fn faulty_program_on_perfect_mesh_matches_updown_walks() {
+        use lapses_routing::UpDown;
+        use lapses_topology::{FaultSet, FaultyMesh};
+        use std::sync::Arc;
+        let mesh = Mesh::mesh_2d(4, 4);
+        let fmesh = Arc::new(FaultyMesh::new(mesh.clone(), FaultSet::empty()).unwrap());
+        let algo = UpDown::new(Arc::clone(&fmesh));
+        let table = IntervalTable::program_faulty(&fmesh, &algo);
+        // Walk every pair to the destination over table entries alone.
+        for src in mesh.nodes() {
+            for dest in mesh.nodes() {
+                let mut at = src;
+                let mut hops = 0;
+                loop {
+                    let e = table.entry(at, dest);
+                    let p = e.candidates.first().unwrap();
+                    if p.is_local() {
+                        break;
+                    }
+                    at = mesh.neighbor(at, p.direction().unwrap()).unwrap();
+                    hops += 1;
+                    assert!(hops <= 4 * mesh.node_count(), "walk does not terminate");
+                }
+                assert_eq!(at, dest);
+            }
+        }
     }
 }

@@ -12,13 +12,17 @@ use crate::stats::SimResult;
 use lapses_core::psh::PathSelection;
 use lapses_core::tables::{EconomicalTable, FullTable, IntervalTable, MetaTable};
 use lapses_core::{RouterConfig, TableScheme};
-use lapses_routing::{DimensionOrder, DuatoAdaptive, RoutingAlgorithm, TurnModel, TurnModelKind};
+use lapses_routing::{
+    DimensionOrder, DuatoAdaptive, RoutingAlgorithm, TurnModel, TurnModelKind, UpDown,
+};
 use lapses_sim::{Cycle, MeasurementPhase, PhaseController, ProgressWatchdog};
-use lapses_topology::{Mesh, NodeId};
+use lapses_topology::{FaultError, FaultSet, FaultyMesh, Mesh, NodeId};
 use lapses_traffic::arrivals::{ArrivalProcess, Bernoulli, Exponential, Periodic};
 use lapses_traffic::patterns;
 use lapses_traffic::workload::{OnOffWorkload, SyntheticWorkload, Workload};
-use lapses_traffic::{Generator, LengthDistribution, Trace, TraceWorkload, TrafficPattern};
+use lapses_traffic::{
+    Generator, LengthDistribution, Trace, TraceEvent, TraceWorkload, TrafficPattern,
+};
 use std::sync::Arc;
 
 /// Routing algorithm selector.
@@ -34,10 +38,22 @@ pub enum Algorithm {
     WestFirst,
     /// Negative-First partially-adaptive turn-model routing.
     NegativeFirst,
+    /// Deterministic BFS-rooted up*/down* routing over the surviving
+    /// links — the fault-tolerant deterministic baseline (deadlock-free
+    /// without escape VCs, like dimension-order).
+    UpDown,
+    /// Minimal-adaptive candidates over the surviving links with an
+    /// up*/down* escape — the fault-tolerant twin of Duato's protocol.
+    UpDownAdaptive,
 }
 
 impl Algorithm {
     /// Instantiates the routing relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the up*/down* variants, whose program is compiled per
+    /// topology instance — use [`Algorithm::build_on`] for those.
     pub fn build(self) -> Box<dyn RoutingAlgorithm> {
         match self {
             Algorithm::DimensionOrder => Box::new(DimensionOrder::new()),
@@ -45,6 +61,22 @@ impl Algorithm {
             Algorithm::NorthLast => Box::new(TurnModel::new(TurnModelKind::NorthLast)),
             Algorithm::WestFirst => Box::new(TurnModel::new(TurnModelKind::WestFirst)),
             Algorithm::NegativeFirst => Box::new(TurnModel::new(TurnModelKind::NegativeFirst)),
+            Algorithm::UpDown | Algorithm::UpDownAdaptive => panic!(
+                "{} routing is compiled per topology instance; use Algorithm::build_on",
+                self.name()
+            ),
+        }
+    }
+
+    /// Instantiates the routing relation over a (possibly fault-free)
+    /// faulty-mesh view. The classic algorithms ignore the fault view —
+    /// compositions mixing them with actual faults are rejected by
+    /// scenario validation and asserted in [`SimConfig::run`].
+    pub fn build_on(self, fmesh: &Arc<FaultyMesh>) -> Box<dyn RoutingAlgorithm> {
+        match self {
+            Algorithm::UpDown => Box::new(UpDown::new(Arc::clone(fmesh))),
+            Algorithm::UpDownAdaptive => Box::new(UpDown::adaptive(Arc::clone(fmesh))),
+            other => other.build(),
         }
     }
 
@@ -56,6 +88,8 @@ impl Algorithm {
             Algorithm::NorthLast => "north-last",
             Algorithm::WestFirst => "west-first",
             Algorithm::NegativeFirst => "negative-first",
+            Algorithm::UpDown => "up-down",
+            Algorithm::UpDownAdaptive => "up-down-adaptive",
         }
     }
 
@@ -65,6 +99,56 @@ impl Algorithm {
             self,
             Algorithm::NorthLast | Algorithm::WestFirst | Algorithm::NegativeFirst
         )
+    }
+
+    /// Whether the relation routes around dead links (the up*/down*
+    /// family). Every other algorithm requires a perfect topology.
+    pub fn fault_tolerant(self) -> bool {
+        matches!(self, Algorithm::UpDown | Algorithm::UpDownAdaptive)
+    }
+}
+
+/// Which links of the topology are dead for a run.
+///
+/// Faults are resolved to a validated
+/// [`FaultSet`](lapses_topology::FaultSet) when the run (or scenario
+/// validation) needs them; resolution depends only on the topology and
+/// this configuration, never on scheduling, so sweep reports over faulty
+/// scenarios stay bit-identical across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FaultsConfig {
+    /// A perfect network (the default; costs nothing).
+    #[default]
+    None,
+    /// Explicit dead links by endpoint node ids (order-insensitive).
+    Links(Vec<(u32, u32)>),
+    /// `count` random dead links drawn deterministically from `seed`,
+    /// guaranteed to leave the network connected.
+    Random {
+        /// How many links to kill.
+        count: usize,
+        /// The draw seed (independent of the run seed, so sweeps can vary
+        /// one without the other).
+        seed: u64,
+    },
+}
+
+impl FaultsConfig {
+    /// Whether this is the fault-free configuration.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultsConfig::None)
+    }
+
+    /// Resolves to a validated fault set on `mesh`.
+    pub fn resolve(&self, mesh: &Mesh) -> Result<FaultSet, FaultError> {
+        match self {
+            FaultsConfig::None => Ok(FaultSet::empty()),
+            FaultsConfig::Links(pairs) => {
+                let pairs: Vec<_> = pairs.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
+                FaultSet::new(mesh, &pairs)
+            }
+            FaultsConfig::Random { count, seed } => FaultSet::random(mesh, *count, *seed),
+        }
     }
 }
 
@@ -239,6 +323,37 @@ impl TableKind {
         }
     }
 
+    /// Compiles the table program over a faulty topology instance — the
+    /// Fig. 7 "table programming story" for irregular networks. Full
+    /// tables express irregular relations natively, the economical table
+    /// adds a per-router exception store, and interval routing falls back
+    /// to run lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the meta-table schemes, whose cluster hierarchy has no
+    /// irregular-topology programming (scenario validation rejects the
+    /// composition with a typed error first).
+    pub fn build_faulty(
+        &self,
+        fmesh: &FaultyMesh,
+        algo: &dyn RoutingAlgorithm,
+    ) -> Arc<dyn TableScheme> {
+        match self {
+            TableKind::Full => Arc::new(FullTable::program_faulty(fmesh, algo)),
+            TableKind::Economical => Arc::new(EconomicalTable::program_faulty(fmesh, algo)),
+            TableKind::Interval => Arc::new(IntervalTable::program_faulty(fmesh, algo)),
+            TableKind::MetaRows | TableKind::MetaBlocks(_) => {
+                panic!("meta-tables cannot program irregular (faulty) routing relations")
+            }
+        }
+    }
+
+    /// Whether the scheme can be programmed for a faulty topology.
+    pub fn supports_faults(&self) -> bool {
+        !matches!(self, TableKind::MetaRows | TableKind::MetaBlocks(_))
+    }
+
     /// A short name for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -257,6 +372,10 @@ impl TableKind {
 pub struct SimConfig {
     /// Topology (the paper: 16×16 mesh).
     pub mesh: Mesh,
+    /// Dead links, if any. Faults compile down to table contents and
+    /// candidate masks — the cycle loop never sees them, so a fault-free
+    /// run is bit-identical to one configured before this field existed.
+    pub faults: FaultsConfig,
     /// Router microarchitecture.
     pub router: RouterConfig,
     /// Routing algorithm.
@@ -312,6 +431,7 @@ impl SimConfig {
         SimConfig {
             backlog_limit: 16 * mesh.node_count() as u64,
             mesh,
+            faults: FaultsConfig::None,
             router: RouterConfig::paper_adaptive(),
             algorithm: Algorithm::Duato,
             table: TableKind::Full,
@@ -424,6 +544,22 @@ impl SimConfig {
     pub fn with_mesh(mut self, mesh: Mesh) -> SimConfig {
         self.backlog_limit = 16 * mesh.node_count() as u64;
         self.mesh = mesh;
+        self
+    }
+
+    /// Kills the given links (endpoint node-id pairs, order-insensitive).
+    pub fn with_faults(mut self, links: &[(u32, u32)]) -> SimConfig {
+        self.faults = if links.is_empty() {
+            FaultsConfig::None
+        } else {
+            FaultsConfig::Links(links.to_vec())
+        };
+        self
+    }
+
+    /// Kills `count` random links drawn deterministically from `seed`.
+    pub fn with_random_faults(mut self, count: usize, seed: u64) -> SimConfig {
+        self.faults = FaultsConfig::Random { count, seed };
         self
     }
 
@@ -541,6 +677,41 @@ impl SimConfig {
         self
     }
 
+    /// Resolves the routing relation and table program, compiling faults
+    /// down to table contents. The fault-free classic path is untouched —
+    /// same calls, same bytes — so runs configured before faults existed
+    /// stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid fault set (bad link, disconnection), on faults
+    /// combined with a non-fault-tolerant algorithm, or on faults with a
+    /// meta-table scheme. The [`Scenario`](crate::scenario::Scenario)
+    /// builder reports all of these as typed errors instead.
+    fn build_routing(&self) -> (Box<dyn RoutingAlgorithm>, Arc<dyn TableScheme>) {
+        if self.faults.is_none() && !self.algorithm.fault_tolerant() {
+            let algo = self.algorithm.build();
+            let program = self.table.build(&self.mesh, algo.as_ref());
+            return (algo, program);
+        }
+        let faults = self
+            .faults
+            .resolve(&self.mesh)
+            .unwrap_or_else(|e| panic!("invalid fault configuration: {e}"));
+        assert!(
+            faults.is_empty() || self.algorithm.fault_tolerant(),
+            "{} routing cannot tolerate dead links; use up-down or up-down-adaptive",
+            self.algorithm.name()
+        );
+        let fmesh = Arc::new(
+            FaultyMesh::new(self.mesh.clone(), faults)
+                .unwrap_or_else(|e| panic!("invalid fault configuration: {e}")),
+        );
+        let algo = self.algorithm.build_on(&fmesh);
+        let program = self.table.build_faulty(&fmesh, algo.as_ref());
+        (algo, program)
+    }
+
     /// Runs the simulation point to completion (or saturation cut-off).
     ///
     /// # Panics
@@ -550,7 +721,30 @@ impl SimConfig {
     /// provide (Duato's protocol requires at least one escape VC per
     /// dateline subclass).
     pub fn run(&self) -> SimResult {
-        let algo = self.algorithm.build();
+        self.run_impl(None)
+    }
+
+    /// Runs the point while recording every injected message as a
+    /// `cycle src dst len` trace event — the capture sink that closes the
+    /// replay loop: a captured synthetic run, re-run as a
+    /// [`WorkloadKind::Trace`] replay with the same message counts, is
+    /// bit-identical in delivered flits and messages (each node is polled
+    /// at most once per cycle and drains every due message in that poll,
+    /// so the injection interleaving reproduces exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SimConfig::run`].
+    pub fn run_capturing(&self) -> (SimResult, Trace) {
+        let mut events = Vec::new();
+        let result = self.run_impl(Some(&mut events));
+        let trace = Trace::from_events(self.mesh.node_count() as u32, events)
+            .expect("captured injections always form a valid trace");
+        (result, trace)
+    }
+
+    fn run_impl(&self, mut capture: Option<&mut Vec<TraceEvent>>) -> SimResult {
+        let (algo, program) = self.build_routing();
         let mut router_cfg = self.router.clone();
         router_cfg.escape_subclasses = algo.escape_subclasses(&self.mesh).max(1);
         if !algo.deadlock_free_without_escape() {
@@ -564,7 +758,6 @@ impl SimConfig {
             router_cfg.escape_subclasses = 1;
         }
 
-        let program = self.table.build(&self.mesh, algo.as_ref());
         let mut net = Network::new(
             self.mesh.clone(),
             router_cfg,
@@ -612,6 +805,14 @@ impl SimConfig {
                         break;
                     }
                     let measured = phase.note_injection();
+                    if let Some(events) = capture.as_deref_mut() {
+                        events.push(TraceEvent {
+                            cycle: clock.as_u64(),
+                            src: spec.src.0,
+                            dest: spec.dest.0,
+                            length: spec.length,
+                        });
+                    }
                     net.offer_message(spec.src, spec.dest, spec.length, clock, measured);
                 }
                 due.push(std::cmp::Reverse((workload.next_due_cycle(node), node)));
@@ -812,5 +1013,78 @@ mod tests {
         let b = fast(SimConfig::paper_adaptive(8, 8)).with_load(0.25).run();
         assert_eq!(a.avg_latency, b.avg_latency);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    fn faulty_updown(cfg: SimConfig) -> SimConfig {
+        let mut cfg = cfg.with_random_faults(3, 7);
+        cfg.algorithm = Algorithm::UpDownAdaptive;
+        cfg
+    }
+
+    #[test]
+    fn faulty_mesh_runs_to_drain_under_updown() {
+        let r = faulty_updown(fast(SimConfig::paper_adaptive(8, 8)))
+            .with_load(0.15)
+            .run();
+        assert!(!r.saturated);
+        assert_eq!(r.messages, 1_000);
+        assert!(r.avg_latency > 0.0);
+    }
+
+    #[test]
+    fn standalone_updown_runs_without_escape_vcs() {
+        let mut cfg = fast(SimConfig::paper_deterministic(4, 4))
+            .with_faults(&[(0, 1)])
+            .with_load(0.1);
+        cfg.algorithm = Algorithm::UpDown;
+        let r = cfg.run();
+        assert!(!r.saturated);
+        // Deterministic routing never has a choice to make.
+        assert_eq!(r.choice_fraction, 0.0);
+    }
+
+    #[test]
+    fn faulty_tables_agree_across_schemes() {
+        // Full and economical-with-exceptions programs must simulate
+        // bit-identically (the §5.2.2 claim, extended to faulty meshes).
+        let base = faulty_updown(fast(SimConfig::paper_adaptive(4, 4))).with_load(0.2);
+        let full = base.clone().with_table(TableKind::Full).run();
+        let econ = base.with_table(TableKind::Economical).run();
+        assert_eq!(full.avg_latency, econ.avg_latency);
+        assert_eq!(full.cycles, econ.cycles);
+        assert_eq!(full.flit_hops, econ.flit_hops);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot tolerate dead links")]
+    fn classic_algorithms_reject_faults() {
+        let _ = fast(SimConfig::paper_adaptive(4, 4))
+            .with_faults(&[(0, 1)])
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "compiled per topology")]
+    fn updown_build_needs_a_topology() {
+        let _ = Algorithm::UpDown.build();
+    }
+
+    #[test]
+    fn captured_trace_replays_bit_identically() {
+        let cfg = fast(SimConfig::paper_adaptive(8, 8)).with_load(0.2);
+        let (original, trace) = cfg.run_capturing();
+        assert_eq!(trace.len() as u64, cfg.warmup_msgs + cfg.measure_msgs);
+        let replay = cfg.with_trace(Arc::new(trace)).run();
+        assert_eq!(original, replay);
+    }
+
+    #[test]
+    fn capture_covers_bursty_and_faulty_runs() {
+        let cfg = faulty_updown(fast(SimConfig::paper_adaptive(4, 4)))
+            .with_bursty(4, 2.0)
+            .with_load(0.15);
+        let (original, trace) = cfg.run_capturing();
+        let replay = cfg.with_trace(Arc::new(trace)).run();
+        assert_eq!(original, replay);
     }
 }

@@ -53,7 +53,9 @@ mod delivery;
 mod messages;
 mod nic;
 
-pub use experiment::{Algorithm, ArrivalKind, Pattern, SimConfig, TableKind, WorkloadKind};
+pub use experiment::{
+    Algorithm, ArrivalKind, FaultsConfig, Pattern, SimConfig, TableKind, WorkloadKind,
+};
 pub use network::Network;
 pub use report::SweepReport;
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};

@@ -33,7 +33,7 @@ use crate::experiment::{Algorithm, ArrivalKind, Pattern, SimConfig, TableKind, W
 use crate::stats::SimResult;
 use lapses_core::psh::PathSelection;
 use lapses_core::RouterConfig;
-use lapses_topology::Mesh;
+use lapses_topology::{FaultError, FaultyMesh, Mesh};
 use lapses_traffic::workload::OnOffWorkload;
 use lapses_traffic::{Generator, LengthDistribution, Trace};
 use std::fmt;
@@ -112,6 +112,26 @@ pub enum ScenarioError {
         /// The axis name.
         axis: &'static str,
     },
+    /// The fault set is invalid on this topology: a pair that names no
+    /// link, a duplicate, a set that disconnects the network, or a random
+    /// count that cannot be placed.
+    Faults(FaultError),
+    /// Dead links were configured with an algorithm that cannot route
+    /// around them — only the up*/down* family is fault-tolerant.
+    FaultsNeedUpDown {
+        /// The configured algorithm.
+        algorithm: Algorithm,
+    },
+    /// Irregular (faulty or up*/down*) routing with a table scheme that
+    /// has no irregular-topology programming (the meta-tables).
+    FaultTable {
+        /// The table scheme's name.
+        table: &'static str,
+    },
+    /// The fault-count sweep axis needs a scenario whose faults are
+    /// seeded-random (`FaultsConfig::Random`), so every count resolves
+    /// deterministically.
+    AxisNeedsRandomFaults,
 }
 
 impl fmt::Display for ScenarioError {
@@ -175,6 +195,20 @@ impl fmt::Display for ScenarioError {
             ScenarioError::AxisNotAscending { axis } => {
                 write!(f, "{axis} axis values must be strictly ascending")
             }
+            ScenarioError::Faults(e) => write!(f, "{e}"),
+            ScenarioError::FaultsNeedUpDown { algorithm } => write!(
+                f,
+                "{} routing cannot route around dead links; use up-down or up-down-adaptive",
+                algorithm.name()
+            ),
+            ScenarioError::FaultTable { table } => write!(
+                f,
+                "{table} tables cannot be programmed for irregular (faulty) topologies"
+            ),
+            ScenarioError::AxisNeedsRandomFaults => write!(
+                f,
+                "fault-count axis needs seeded random faults (random_faults)"
+            ),
         }
     }
 }
@@ -216,6 +250,13 @@ impl Scenario {
         self.config.run()
     }
 
+    /// Runs the scenario while capturing every injected message as a
+    /// replayable [`Trace`] (see
+    /// [`SimConfig::run_capturing`](crate::SimConfig::run_capturing)).
+    pub fn run_capturing(&self) -> (SimResult, Trace) {
+        self.config.run_capturing()
+    }
+
     /// Reopens the scenario for modification; `build()` re-validates.
     pub fn to_builder(&self) -> ScenarioBuilder {
         ScenarioBuilder {
@@ -249,6 +290,23 @@ impl ScenarioBuilder {
     /// The saturation backlog limit rescales with the node count.
     pub fn topology(mut self, mesh: Mesh) -> Self {
         self.config = self.config.with_mesh(mesh);
+        self
+    }
+
+    /// Kills the given links (endpoint node-id pairs, order-insensitive).
+    /// Validation checks every pair names a real link and that the
+    /// network stays connected; faulty scenarios need an up*/down*
+    /// algorithm.
+    pub fn faults(mut self, links: &[(u32, u32)]) -> Self {
+        self.config = self.config.with_faults(links);
+        self
+    }
+
+    /// Kills `count` random links, drawn deterministically from `seed`
+    /// and guaranteed connected (see
+    /// [`FaultsConfig::Random`](crate::experiment::FaultsConfig)).
+    pub fn random_faults(mut self, count: usize, seed: u64) -> Self {
+        self.config = self.config.with_random_faults(count, seed);
         self
     }
 
@@ -426,8 +484,37 @@ impl ScenarioBuilder {
             });
         }
 
-        let algo = config.algorithm.build();
+        // Faults resolve and validate before the algorithm builds: every
+        // fault problem is a typed error, and constructing the faulty-mesh
+        // view (needed to compile up*/down*) proves connectivity. Only the
+        // up*/down* family routes around dead links, and the meta-tables
+        // have no irregular-topology programming.
+        let faults = config
+            .faults
+            .resolve(&config.mesh)
+            .map_err(ScenarioError::Faults)?;
+        if !faults.is_empty() && !config.algorithm.fault_tolerant() {
+            return Err(ScenarioError::FaultsNeedUpDown {
+                algorithm: config.algorithm,
+            });
+        }
+        if (config.algorithm.fault_tolerant() || !faults.is_empty())
+            && !config.table.supports_faults()
+        {
+            return Err(ScenarioError::FaultTable {
+                table: config.table.name(),
+            });
+        }
+        let algo = if config.algorithm.fault_tolerant() {
+            let fmesh =
+                FaultyMesh::new(config.mesh.clone(), faults).map_err(ScenarioError::Faults)?;
+            config.algorithm.build_on(&Arc::new(fmesh))
+        } else {
+            config.algorithm.build()
+        };
         if !algo.deadlock_free_without_escape() {
+            // On a torus, dimension-order escapes need one VC per dateline
+            // subclass; up*/down* ignores wrap state and needs just one.
             let needed = algo.escape_subclasses(&config.mesh).max(1);
             if router.escape_vcs < needed {
                 return Err(ScenarioError::EscapeVcs {
@@ -653,5 +740,121 @@ mod tests {
         let s = small().load(0.3).build().unwrap();
         let again = s.to_builder().build().unwrap();
         assert_eq!(s.config().load, again.config().load);
+    }
+
+    #[test]
+    fn fault_on_a_non_link_is_typed() {
+        use lapses_topology::FaultError;
+        // (0, 5) is a diagonal on the 4x4 mesh: no link.
+        let err = small()
+            .faults(&[(0, 5)])
+            .algorithm(Algorithm::UpDownAdaptive)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Faults(FaultError::NotALink { .. })),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("names no link"));
+    }
+
+    #[test]
+    fn disconnecting_faults_are_typed() {
+        use lapses_topology::FaultError;
+        // Cut corner (0,0) off the 4x4 mesh.
+        let err = small()
+            .faults(&[(0, 1), (0, 4)])
+            .algorithm(Algorithm::UpDownAdaptive)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Faults(FaultError::Disconnected { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn faults_require_an_updown_algorithm() {
+        let err = small().faults(&[(0, 1)]).build().unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::FaultsNeedUpDown {
+                algorithm: Algorithm::Duato
+            }
+        );
+        assert!(err.to_string().contains("up-down"));
+    }
+
+    #[test]
+    fn meta_tables_reject_irregular_routing() {
+        let err = small()
+            .faults(&[(0, 1)])
+            .algorithm(Algorithm::UpDownAdaptive)
+            .table(TableKind::MetaRows)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::FaultTable { table: "meta-rows" });
+        // Up*/down* without faults still needs a fault-capable table.
+        let err = small()
+            .algorithm(Algorithm::UpDown)
+            .table(TableKind::MetaBlocks(vec![2, 2]))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::FaultTable {
+                table: "meta-blocks"
+            }
+        );
+    }
+
+    #[test]
+    fn torus_updown_needs_only_one_escape_vc() {
+        // The torus×up*/down* rule: no dateline subclasses, so the default
+        // single escape VC suffices — where Duato's dimension-order escape
+        // needs two (torus_duato_needs_two_dateline_escapes above).
+        let s = Scenario::builder()
+            .topology(Mesh::torus_2d(4, 4))
+            .algorithm(Algorithm::UpDownAdaptive)
+            .message_counts(50, 300)
+            .build()
+            .unwrap();
+        assert_eq!(s.config().router.escape_vcs, 1);
+        assert!(!s.run().saturated);
+    }
+
+    #[test]
+    fn faulty_scenario_runs_to_drain() {
+        let r = small()
+            .random_faults(2, 5)
+            .algorithm(Algorithm::UpDownAdaptive)
+            .load(0.15)
+            .build()
+            .unwrap()
+            .run();
+        assert!(!r.saturated);
+        assert_eq!(r.messages, 300);
+    }
+
+    #[test]
+    fn too_many_random_faults_is_typed() {
+        use lapses_topology::FaultError;
+        let err = small()
+            .random_faults(50, 1)
+            .algorithm(Algorithm::UpDownAdaptive)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Faults(FaultError::TooManyFaults { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn scenario_capture_replays_bit_identically() {
+        let s = small().load(0.2).build().unwrap();
+        let (original, trace) = s.run_capturing();
+        let replay = s.to_builder().trace(Arc::new(trace)).build().unwrap().run();
+        assert_eq!(original, replay);
     }
 }

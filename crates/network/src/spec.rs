@@ -12,6 +12,9 @@
 //! ```text
 //! # LAPSES scenario
 //! topology = mesh 16x16
+//! faults = (85 86), (120 136)           # optional dead links ...
+//! # fault-count = 3                     # ... or a seeded random set
+//! # fault-seed = 7
 //! router = adaptive
 //! lookahead = true
 //! vcs = 4 1
@@ -27,7 +30,7 @@
 //! seed = 20260611
 //! ```
 
-use crate::experiment::{Algorithm, ArrivalKind, Pattern, TableKind};
+use crate::experiment::{Algorithm, ArrivalKind, FaultsConfig, Pattern, TableKind};
 use crate::scenario::{Scenario, ScenarioBuilder, ScenarioError};
 use lapses_core::psh::{CreditAggregate, LfuCounting, PathSelection};
 use lapses_core::RouterConfig;
@@ -88,6 +91,9 @@ pub struct ScenarioSpec {
     pub torus: bool,
     /// Mesh shape, e.g. `[16, 16]`.
     pub shape: Vec<u16>,
+    /// Dead links: explicit `faults = (a b), ...` pairs or a seeded
+    /// random set (`fault-count` / `fault-seed`).
+    pub faults: FaultsConfig,
     /// Router preset.
     pub router: RouterPreset,
     /// LA-PROUD vs PROUD.
@@ -121,6 +127,7 @@ impl Default for ScenarioSpec {
         ScenarioSpec {
             torus: false,
             shape: vec![16, 16],
+            faults: FaultsConfig::None,
             router: RouterPreset::Adaptive,
             lookahead: false,
             vcs: None,
@@ -200,6 +207,10 @@ impl ScenarioSpec {
     pub fn parse(text: &str) -> Result<ScenarioSpec, SpecError> {
         let mut spec = ScenarioSpec::default();
         let mut seen: Vec<&str> = Vec::new();
+        // `fault-seed` may precede `fault-count` in the file; remember it
+        // (with its line, for the error when no count ever shows up) and
+        // fold it in after the scan.
+        let mut fault_seed: Option<(u64, usize)> = None;
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
             let err = |message: String| SpecError::Parse { line, message };
@@ -216,6 +227,9 @@ impl ScenarioSpec {
             }
             let canonical = [
                 "topology",
+                "faults",
+                "fault-count",
+                "fault-seed",
                 "router",
                 "lookahead",
                 "vcs",
@@ -254,6 +268,57 @@ impl ScenarioSpec {
                     };
                     spec.shape = parse_shape(shape)
                         .ok_or_else(|| err(format!("bad topology shape {shape:?}")))?;
+                }
+                "faults" => {
+                    if seen.contains(&"fault-count") || seen.contains(&"fault-seed") {
+                        return Err(err(
+                            "explicit faults cannot be combined with fault-count/fault-seed".into(),
+                        ));
+                    }
+                    let mut pairs = Vec::new();
+                    for part in value.split(',') {
+                        let part = part.trim();
+                        let inner = part
+                            .strip_prefix('(')
+                            .and_then(|p| p.strip_suffix(')'))
+                            .ok_or_else(|| err(format!("fault must be `(a b)`, got {part:?}")))?;
+                        let nums: Vec<&str> = inner.split_whitespace().collect();
+                        let [a, b] = nums.as_slice() else {
+                            return Err(err(format!("fault must name two nodes, got {part:?}")));
+                        };
+                        let a = a
+                            .parse()
+                            .map_err(|_| err(format!("bad fault node {a:?}")))?;
+                        let b = b
+                            .parse()
+                            .map_err(|_| err(format!("bad fault node {b:?}")))?;
+                        pairs.push((a, b));
+                    }
+                    spec.faults = FaultsConfig::Links(pairs);
+                }
+                "fault-count" => {
+                    if seen.contains(&"faults") {
+                        return Err(err(
+                            "fault-count cannot be combined with explicit faults".into()
+                        ));
+                    }
+                    let count = value
+                        .parse()
+                        .map_err(|_| err(format!("bad fault count {value:?}")))?;
+                    // Default seed 1; a fault-seed key (before or after)
+                    // overrides it below.
+                    spec.faults = FaultsConfig::Random { count, seed: 1 };
+                }
+                "fault-seed" => {
+                    if seen.contains(&"faults") {
+                        return Err(err(
+                            "fault-seed cannot be combined with explicit faults".into()
+                        ));
+                    }
+                    let seed = value
+                        .parse()
+                        .map_err(|_| err(format!("bad fault seed {value:?}")))?;
+                    fault_seed = Some((seed, line));
                 }
                 "router" => {
                     spec.router = match value {
@@ -299,6 +364,8 @@ impl ScenarioSpec {
                         "north-last" => Algorithm::NorthLast,
                         "west-first" => Algorithm::WestFirst,
                         "negative-first" => Algorithm::NegativeFirst,
+                        "up-down" => Algorithm::UpDown,
+                        "up-down-adaptive" => Algorithm::UpDownAdaptive,
                         other => return Err(err(format!("unknown algorithm {other:?}"))),
                     };
                 }
@@ -403,6 +470,17 @@ impl ScenarioSpec {
                 _ => unreachable!("key was canonicalized above"),
             }
         }
+        if let Some((seed, line)) = fault_seed {
+            match &mut spec.faults {
+                FaultsConfig::Random { seed: s, .. } => *s = seed,
+                _ => {
+                    return Err(SpecError::Parse {
+                        line,
+                        message: "fault-seed needs a fault-count".into(),
+                    })
+                }
+            }
+        }
         Ok(spec)
     }
 
@@ -434,6 +512,24 @@ impl ScenarioSpec {
                 shape_to_string(&self.shape)
             ),
         );
+        match &self.faults {
+            FaultsConfig::None => {}
+            // An empty explicit list means "no faults": skip the key, or
+            // `faults = ` (no value) would fail to re-parse.
+            FaultsConfig::Links(pairs) if pairs.is_empty() => {}
+            FaultsConfig::Links(pairs) => kv(
+                "faults",
+                pairs
+                    .iter()
+                    .map(|(a, b)| format!("({a} {b})"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            FaultsConfig::Random { count, seed } => {
+                kv("fault-count", count.to_string());
+                kv("fault-seed", seed.to_string());
+            }
+        }
         kv("router", self.router.name().to_string());
         kv("lookahead", self.lookahead.to_string());
         if let Some((total, escape)) = self.vcs {
@@ -505,9 +601,13 @@ impl ScenarioSpec {
         }
         router.path_selection = self.path_selection;
 
-        let mut builder = Scenario::builder()
-            .topology(mesh.clone())
-            .router(router)
+        let builder = Scenario::builder().topology(mesh.clone()).router(router);
+        let builder = match &self.faults {
+            FaultsConfig::None => builder,
+            FaultsConfig::Links(pairs) => builder.faults(pairs),
+            FaultsConfig::Random { count, seed } => builder.random_faults(*count, *seed),
+        };
+        let mut builder = builder
             .algorithm(self.algorithm)
             .table(self.table.clone())
             .pattern(self.pattern)
@@ -568,6 +668,7 @@ mod tests {
         let spec = ScenarioSpec {
             torus: true,
             shape: vec![8, 8],
+            faults: FaultsConfig::None,
             router: RouterPreset::Adaptive,
             lookahead: true,
             vcs: Some((4, 2)),
@@ -643,6 +744,93 @@ mod tests {
                 "{bad:?} gave {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn fault_links_round_trip() {
+        let spec = ScenarioSpec {
+            shape: vec![4, 4],
+            faults: FaultsConfig::Links(vec![(1, 2), (5, 9)]),
+            algorithm: Algorithm::UpDownAdaptive,
+            ..ScenarioSpec::default()
+        };
+        let text = spec.format();
+        assert!(text.contains("faults = (1 2), (5 9)"), "{text}");
+        assert!(text.contains("algorithm = up-down-adaptive"), "{text}");
+        let again = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(spec, again);
+        assert_eq!(text, again.format());
+        assert!(spec.to_scenario(Path::new(".")).is_ok());
+    }
+
+    #[test]
+    fn empty_explicit_fault_list_formats_parseably() {
+        // `Links(vec![])` means "no faults": format must skip the key
+        // (an empty `faults =` value would fail to re-parse).
+        let spec = ScenarioSpec {
+            faults: FaultsConfig::Links(Vec::new()),
+            ..ScenarioSpec::default()
+        };
+        let text = spec.format();
+        assert!(!text.contains("faults"), "{text}");
+        assert_eq!(
+            ScenarioSpec::parse(&text).unwrap().faults,
+            FaultsConfig::None
+        );
+    }
+
+    #[test]
+    fn random_faults_round_trip() {
+        let spec = ScenarioSpec {
+            shape: vec![8, 8],
+            faults: FaultsConfig::Random { count: 3, seed: 7 },
+            algorithm: Algorithm::UpDown,
+            ..ScenarioSpec::default()
+        };
+        let text = spec.format();
+        assert!(text.contains("fault-count = 3") && text.contains("fault-seed = 7"));
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), spec);
+        // fault-seed may precede fault-count.
+        let reordered =
+            "fault-seed = 7\nfault-count = 3\nalgorithm = up-down\ntopology = mesh 8x8\n";
+        assert_eq!(ScenarioSpec::parse(reordered).unwrap().faults, spec.faults);
+        // Omitted fault-seed defaults to 1.
+        let defaulted = ScenarioSpec::parse("fault-count = 2\n").unwrap();
+        assert_eq!(defaulted.faults, FaultsConfig::Random { count: 2, seed: 1 });
+    }
+
+    #[test]
+    fn malformed_fault_clauses_are_rejected() {
+        for bad in [
+            "faults = 1 2",
+            "faults = (1)",
+            "faults = (1 2 3)",
+            "faults = (a b)",
+            "fault-count = lots",
+            "fault-seed = 3", // seed without a count
+            "faults = (0 1)\nfault-count = 2",
+            "fault-count = 2\nfaults = (0 1)",
+            "faults = (0 1)\nfault-seed = 9",
+        ] {
+            let err = ScenarioSpec::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, SpecError::Parse { .. }),
+                "{bad:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_validation_errors_surface_as_scenario_errors() {
+        let spec = ScenarioSpec {
+            shape: vec![4, 4],
+            faults: FaultsConfig::Links(vec![(0, 5)]), // diagonal: no link
+            algorithm: Algorithm::UpDownAdaptive,
+            ..ScenarioSpec::default()
+        };
+        let err = spec.to_scenario(Path::new(".")).unwrap_err();
+        assert!(matches!(err, SpecError::Scenario(_)), "{err:?}");
+        assert!(err.to_string().contains("names no link"));
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //! assert_eq!(report.series().len(), 2);
 //! ```
 
-use crate::experiment::{Algorithm, SimConfig, WorkloadKind};
+use crate::experiment::{Algorithm, FaultsConfig, SimConfig, WorkloadKind};
 use crate::report::SweepReport;
 use crate::scenario::{Scenario, ScenarioError};
 use crate::stats::SimResult;
@@ -86,6 +86,12 @@ pub enum ScenarioAxis {
     MeshExtent(Vec<(u16, u16)>),
     /// Enumerate routing algorithms at the scenario's fixed load.
     Algorithm(Vec<Algorithm>),
+    /// Sweep the number of random dead links (fault density) at the
+    /// scenario's fixed load. Only valid on scenarios with seeded random
+    /// faults ([`FaultsConfig::Random`]), whose seed every count reuses —
+    /// resolution is positional, so reports stay bit-identical across
+    /// thread counts.
+    FaultCount(Vec<usize>),
 }
 
 impl ScenarioAxis {
@@ -96,6 +102,7 @@ impl ScenarioAxis {
             ScenarioAxis::BurstLen(_) => "burst-length",
             ScenarioAxis::MeshExtent(_) => "mesh-extent",
             ScenarioAxis::Algorithm(_) => "algorithm",
+            ScenarioAxis::FaultCount(_) => "fault-count",
         }
     }
 
@@ -167,6 +174,23 @@ impl ScenarioAxis {
                 .iter()
                 .map(|&a| Ok((base.config().load, base.to_builder().algorithm(a).build()?)))
                 .collect::<Result<_, ScenarioError>>()?,
+            ScenarioAxis::FaultCount(counts) => {
+                let FaultsConfig::Random { seed, .. } = base.config().faults else {
+                    return Err(ScenarioError::AxisNeedsRandomFaults);
+                };
+                if !ascending(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>()) {
+                    return Err(ScenarioError::AxisNotAscending { axis: self.name() });
+                }
+                counts
+                    .iter()
+                    .map(|&count| {
+                        Ok((
+                            count as f64,
+                            base.to_builder().random_faults(count, seed).build()?,
+                        ))
+                    })
+                    .collect::<Result<_, ScenarioError>>()?
+            }
         };
         Ok(points)
     }
@@ -567,6 +591,48 @@ mod tests {
     fn empty_grid_yields_empty_report() {
         let report = SweepRunner::new().run(&SweepGrid::new());
         assert_eq!(report.series().len(), 0);
+    }
+
+    #[test]
+    fn fault_count_axis_expands_and_validates() {
+        let base = Scenario::builder()
+            .mesh_2d(4, 4)
+            .algorithm(Algorithm::UpDownAdaptive)
+            .random_faults(1, 9)
+            .message_counts(30, 200)
+            .build()
+            .unwrap();
+        let grid = SweepGrid::new()
+            .scenario_series("faults", &base, &ScenarioAxis::FaultCount(vec![0, 1, 2]))
+            .unwrap();
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid.points()[2].load, 2.0);
+        assert_eq!(
+            grid.points()[2].config.faults,
+            crate::experiment::FaultsConfig::Random { count: 2, seed: 9 }
+        );
+
+        // Axis on a scenario without seeded random faults is rejected.
+        let plain = Scenario::builder()
+            .mesh_2d(4, 4)
+            .message_counts(30, 200)
+            .build()
+            .unwrap();
+        assert_eq!(
+            SweepGrid::new()
+                .scenario_series("f", &plain, &ScenarioAxis::FaultCount(vec![1]))
+                .unwrap_err(),
+            ScenarioError::AxisNeedsRandomFaults
+        );
+        // Unordered counts are rejected like every value axis.
+        assert_eq!(
+            SweepGrid::new()
+                .scenario_series("f", &base, &ScenarioAxis::FaultCount(vec![2, 1]))
+                .unwrap_err(),
+            ScenarioError::AxisNotAscending {
+                axis: "fault-count"
+            }
+        );
     }
 
     #[test]

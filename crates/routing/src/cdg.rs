@@ -32,7 +32,7 @@
 //! ```
 
 use crate::algorithms::RoutingAlgorithm;
-use lapses_topology::{Direction, Mesh, NodeId, Port};
+use lapses_topology::{Direction, FaultyMesh, Mesh, NodeId, Port};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -143,6 +143,58 @@ impl ChannelGraph {
     /// CDG of an algorithm's adaptive relation on a single class.
     pub fn adaptive_network(mesh: &Mesh, algo: &dyn RoutingAlgorithm) -> ChannelGraph {
         Self::for_relation(mesh, 1, |here, dest| {
+            algo.candidates(mesh, here, dest)
+                .iter()
+                .filter_map(Port::direction)
+                .map(|d| (d, 0))
+                .collect()
+        })
+    }
+
+    /// Builds the CDG of a relation over a *faulty* topology instance,
+    /// additionally asserting the relation never routes over a dead link —
+    /// so deadlock freedom is checked per faulty instance, not assumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ChannelGraph::for_relation`],
+    /// plus whenever the relation emits a direction whose link is dead.
+    pub fn for_faulty_relation<F>(fmesh: &FaultyMesh, classes: usize, route: F) -> ChannelGraph
+    where
+        F: Fn(NodeId, NodeId) -> Vec<(Direction, usize)>,
+    {
+        Self::for_relation(fmesh.mesh(), classes, |here, dest| {
+            let out = route(here, dest);
+            for (dir, _) in &out {
+                assert!(
+                    fmesh.neighbor(here, *dir).is_some(),
+                    "relation routed over the dead link {here} {dir}"
+                );
+            }
+            out
+        })
+    }
+
+    /// CDG of an algorithm's escape subnetwork over a faulty instance
+    /// (the faulty twin of [`ChannelGraph::escape_network`]).
+    pub fn escape_network_faulty(fmesh: &FaultyMesh, algo: &dyn RoutingAlgorithm) -> ChannelGraph {
+        let mesh = fmesh.mesh();
+        Self::for_faulty_relation(fmesh, algo.escape_subclasses(mesh), |here, dest| {
+            algo.escape_port(mesh, here, dest)
+                .and_then(Port::direction)
+                .map(|d| (d, algo.escape_subclass(mesh, here, dest)))
+                .into_iter()
+                .collect()
+        })
+    }
+
+    /// CDG of an algorithm's adaptive relation over a faulty instance.
+    pub fn adaptive_network_faulty(
+        fmesh: &FaultyMesh,
+        algo: &dyn RoutingAlgorithm,
+    ) -> ChannelGraph {
+        let mesh = fmesh.mesh();
+        Self::for_faulty_relation(fmesh, 1, |here, dest| {
             algo.candidates(mesh, here, dest)
                 .iter()
                 .filter_map(Port::direction)

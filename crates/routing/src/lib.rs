@@ -17,10 +17,34 @@
 //!   dimension-order escape;
 //! * [`TurnModel`] — North-Last, West-First and Negative-First
 //!   partially-adaptive routing for 2-D meshes;
+//! * [`UpDown`] — BFS-rooted up*/down* routing over the surviving links of
+//!   a faulty (or perfect) mesh/torus: the table-programming story for
+//!   irregular networks, usable standalone (deterministic, deadlock-free
+//!   without escape VCs) or as the escape function under minimal-adaptive
+//!   candidates ([`UpDown::adaptive`]);
 //! * [`cdg`] — channel-dependency-graph construction and cycle detection,
-//!   used to *prove* (exhaustively, per topology instance) that the escape
-//!   networks used here are deadlock-free and that unrestricted minimal
-//!   adaptive routing is not.
+//!   used to *prove* (exhaustively, per topology instance — faulty
+//!   instances included) that the escape networks used here are
+//!   deadlock-free and that unrestricted minimal adaptive routing is not.
+//!
+//! # Faulty topologies
+//!
+//! ```
+//! use lapses_routing::{RoutingAlgorithm, UpDown};
+//! use lapses_routing::cdg::ChannelGraph;
+//! use lapses_topology::{FaultSet, FaultyMesh, Mesh, NodeId};
+//! use std::sync::Arc;
+//!
+//! let mesh = Mesh::mesh_2d(4, 4);
+//! let faults = FaultSet::new(&mesh, &[(NodeId(1), NodeId(2))]).unwrap();
+//! let fmesh = Arc::new(FaultyMesh::new(mesh.clone(), faults).unwrap());
+//! let updown = UpDown::adaptive(Arc::clone(&fmesh));
+//! // Candidates avoid the dead link; the escape CDG is provably acyclic.
+//! assert!(!updown
+//!     .candidates(&mesh, NodeId(1), NodeId(2))
+//!     .contains(lapses_topology::Port::from(lapses_topology::Direction::plus(0))));
+//! assert!(ChannelGraph::escape_network_faulty(&fmesh, &updown).is_acyclic());
+//! ```
 //!
 //! # Example
 //!
@@ -45,8 +69,10 @@
 pub mod cdg;
 
 mod algorithms;
+mod updown;
 
 pub use algorithms::{
     torus_dateline_subclass, DimensionOrder, DuatoAdaptive, RoutingAlgorithm, TurnModel,
     TurnModelKind,
 };
+pub use updown::UpDown;

@@ -1,0 +1,594 @@
+//! Faulty-link topologies: dead-link sets and the faulty-mesh view.
+//!
+//! The paper sells programmable routing tables precisely because they can
+//! encode routing functions beyond dimension-order — including routing
+//! *around broken links* (§2.3, Fig. 7). This module supplies the topology
+//! side of that story:
+//!
+//! * [`FaultSet`] — a validated set of dead **bidirectional** links,
+//!   identified by their endpoint pair (a node pair names at most one link
+//!   in every mesh and torus this crate can build, since torus extents are
+//!   at least 3). Explicit sets are checked link by link; random sets
+//!   ([`FaultSet::random`]) are drawn deterministically from a seed and
+//!   never disconnect the network.
+//! * [`FaultyMesh`] — a [`Mesh`] plus a [`FaultSet`], offering the same
+//!   neighbor / alive-port / distance / productive-port surface the routing
+//!   and table-programming layers use, but over the *surviving* links only.
+//!   Construction rejects fault sets that partition the network
+//!   ([`FaultError::Disconnected`]).
+//!
+//! Faults never touch the simulator's hot path: a dead link still exists
+//! physically, it simply never appears in any table entry or candidate
+//! mask, so no flit is ever routed over it.
+//!
+//! # Example
+//!
+//! ```
+//! use lapses_topology::{FaultSet, FaultyMesh, Mesh, NodeId};
+//!
+//! let mesh = Mesh::mesh_2d(4, 4);
+//! // Kill the link between (1,1) and (2,1).
+//! let faults = FaultSet::new(&mesh, &[(NodeId(5), NodeId(6))]).unwrap();
+//! let fmesh = FaultyMesh::new(mesh, faults).unwrap();
+//! // The detour costs two extra hops.
+//! assert_eq!(fmesh.distance(NodeId(5), NodeId(6)), 3);
+//! ```
+
+use crate::mesh::Mesh;
+use crate::port::{Direction, Port, PortSet};
+use crate::NodeId;
+use lapses_sim::SimRng;
+use std::fmt;
+
+/// Why a fault set (or a faulty mesh) failed to validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// The named node pair is not connected by a link of the topology
+    /// (non-adjacent nodes, an out-of-range id, or a self-pair).
+    NotALink {
+        /// First endpoint as given.
+        a: NodeId,
+        /// Second endpoint as given.
+        b: NodeId,
+    },
+    /// The same link was listed twice.
+    DuplicateLink {
+        /// First endpoint (normalized order).
+        a: NodeId,
+        /// Second endpoint (normalized order).
+        b: NodeId,
+    },
+    /// Removing the faulty links partitions the network.
+    Disconnected {
+        /// Nodes reachable from node 0 over surviving links.
+        reachable: usize,
+        /// Total nodes in the topology.
+        nodes: usize,
+    },
+    /// A random draw could not place the requested number of faults
+    /// without disconnecting the network.
+    TooManyFaults {
+        /// Faults requested.
+        requested: usize,
+        /// Faults that could be placed.
+        placed: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::NotALink { a, b } => {
+                write!(f, "fault ({a}, {b}) names no link of the topology")
+            }
+            FaultError::DuplicateLink { a, b } => {
+                write!(f, "fault ({a}, {b}) is listed more than once")
+            }
+            FaultError::Disconnected { reachable, nodes } => write!(
+                f,
+                "fault set disconnects the network ({reachable} of {nodes} nodes reachable)"
+            ),
+            FaultError::TooManyFaults { requested, placed } => write!(
+                f,
+                "cannot place {requested} faults without disconnecting the network \
+                 (managed {placed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A validated set of dead bidirectional links.
+///
+/// Stored as normalized `(min, max)` endpoint pairs in ascending order, so
+/// equal sets compare equal regardless of how they were written.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSet {
+    links: Vec<(NodeId, NodeId)>,
+}
+
+impl FaultSet {
+    /// The fault-free set.
+    pub fn empty() -> FaultSet {
+        FaultSet::default()
+    }
+
+    /// Validates a list of dead links against a topology: every pair must
+    /// name an existing link, and no link may be listed twice. Endpoint
+    /// order within a pair does not matter.
+    pub fn new(mesh: &Mesh, links: &[(NodeId, NodeId)]) -> Result<FaultSet, FaultError> {
+        let mut normalized = Vec::with_capacity(links.len());
+        for &(a, b) in links {
+            if !are_linked(mesh, a, b) {
+                return Err(FaultError::NotALink { a, b });
+            }
+            normalized.push((a.min(b), a.max(b)));
+        }
+        normalized.sort_unstable();
+        for w in normalized.windows(2) {
+            if w[0] == w[1] {
+                return Err(FaultError::DuplicateLink {
+                    a: w[0].0,
+                    b: w[0].1,
+                });
+            }
+        }
+        Ok(FaultSet { links: normalized })
+    }
+
+    /// Draws `count` dead links deterministically from `seed`, guaranteed
+    /// to leave the network connected: candidate links are visited in a
+    /// seeded Fisher–Yates order and a link is killed only if the network
+    /// stays connected without it. The same `(mesh, count, seed)` triple
+    /// always yields the same set — sweep reports built from random fault
+    /// sets stay bit-identical across thread counts.
+    pub fn random(mesh: &Mesh, count: usize, seed: u64) -> Result<FaultSet, FaultError> {
+        let mut candidates = all_links(mesh);
+        let mut rng = SimRng::from_seed(lapses_sim::rng::mix64(seed ^ 0xFA_017_5E7));
+        // Fisher–Yates over the candidate order.
+        for i in (1..candidates.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            candidates.swap(i, j);
+        }
+        let mut chosen = Vec::with_capacity(count);
+        for link in candidates {
+            if chosen.len() == count {
+                break;
+            }
+            chosen.push(link);
+            let trial = FaultSet {
+                links: {
+                    let mut v = chosen.clone();
+                    v.sort_unstable();
+                    v
+                },
+            };
+            if !is_connected(mesh, &trial) {
+                chosen.pop();
+            }
+        }
+        if chosen.len() < count {
+            return Err(FaultError::TooManyFaults {
+                requested: count,
+                placed: chosen.len(),
+            });
+        }
+        chosen.sort_unstable();
+        Ok(FaultSet { links: chosen })
+    }
+
+    /// Number of dead links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the set is empty (a perfect network).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The dead links as normalized `(min, max)` endpoint pairs, ascending.
+    pub fn links(&self) -> &[(NodeId, NodeId)] {
+        &self.links
+    }
+
+    /// Whether the link between `a` and `b` is dead (order-insensitive).
+    pub fn contains(&self, a: NodeId, b: NodeId) -> bool {
+        self.links.binary_search(&(a.min(b), a.max(b))).is_ok()
+    }
+}
+
+impl fmt::Display for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.links.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({a}, {b})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Whether `a` and `b` are joined by a link of `mesh`.
+fn are_linked(mesh: &Mesh, a: NodeId, b: NodeId) -> bool {
+    if a == b || a.index() >= mesh.node_count() || b.index() >= mesh.node_count() {
+        return false;
+    }
+    (0..mesh.dims())
+        .flat_map(|d| [Direction::plus(d), Direction::minus(d)])
+        .any(|dir| mesh.neighbor(a, dir) == Some(b))
+}
+
+/// Every link of the topology as a normalized endpoint pair, ascending.
+fn all_links(mesh: &Mesh) -> Vec<(NodeId, NodeId)> {
+    let mut links = Vec::new();
+    for node in mesh.nodes() {
+        for dim in 0..mesh.dims() {
+            for dir in [Direction::plus(dim), Direction::minus(dim)] {
+                if let Some(nb) = mesh.neighbor(node, dir) {
+                    if node < nb {
+                        links.push((node, nb));
+                    }
+                }
+            }
+        }
+    }
+    links.sort_unstable();
+    links.dedup();
+    links
+}
+
+/// BFS connectivity over the surviving links.
+fn is_connected(mesh: &Mesh, faults: &FaultSet) -> bool {
+    reachable_from_zero(mesh, faults) == mesh.node_count()
+}
+
+fn reachable_from_zero(mesh: &Mesh, faults: &FaultSet) -> usize {
+    let n = mesh.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([NodeId(0)]);
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(node) = queue.pop_front() {
+        for dim in 0..mesh.dims() {
+            for dir in [Direction::plus(dim), Direction::minus(dim)] {
+                let Some(nb) = mesh.neighbor(node, dir) else {
+                    continue;
+                };
+                if faults.contains(node, nb) || seen[nb.index()] {
+                    continue;
+                }
+                seen[nb.index()] = true;
+                count += 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    count
+}
+
+/// A mesh or torus with a set of dead links: the topology surface the
+/// fault-tolerant routing and table-programming layers consume.
+///
+/// All-pairs distances over the surviving links are precomputed at
+/// construction (one BFS per node), so [`FaultyMesh::distance`] and
+/// [`FaultyMesh::productive_ports`] are O(1)/O(ports) lookups like their
+/// perfect-mesh counterparts.
+#[derive(Debug, Clone)]
+pub struct FaultyMesh {
+    mesh: Mesh,
+    faults: FaultSet,
+    /// Per node: direction-ports whose link is dead.
+    dead_ports: Vec<PortSet>,
+    /// Flattened `dist[a * n + b]` over surviving links.
+    dist: Vec<u32>,
+}
+
+impl FaultyMesh {
+    /// Builds the faulty view, re-validating the fault set against this
+    /// mesh and rejecting sets that disconnect it.
+    pub fn new(mesh: Mesh, faults: FaultSet) -> Result<FaultyMesh, FaultError> {
+        for &(a, b) in faults.links() {
+            if !are_linked(&mesh, a, b) {
+                return Err(FaultError::NotALink { a, b });
+            }
+        }
+        let reachable = reachable_from_zero(&mesh, &faults);
+        if reachable != mesh.node_count() {
+            return Err(FaultError::Disconnected {
+                reachable,
+                nodes: mesh.node_count(),
+            });
+        }
+
+        let n = mesh.node_count();
+        let mut dead_ports = vec![PortSet::EMPTY; n];
+        for &(a, b) in faults.links() {
+            for (from, to) in [(a, b), (b, a)] {
+                for dim in 0..mesh.dims() {
+                    for dir in [Direction::plus(dim), Direction::minus(dim)] {
+                        if mesh.neighbor(from, dir) == Some(to) {
+                            dead_ports[from.index()].insert(Port::from(dir));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut fmesh = FaultyMesh {
+            mesh,
+            faults,
+            dead_ports,
+            dist: Vec::new(),
+        };
+        fmesh.dist = fmesh.all_pairs_distances();
+        Ok(fmesh)
+    }
+
+    /// One BFS per source over the surviving links.
+    fn all_pairs_distances(&self) -> Vec<u32> {
+        let n = self.mesh.node_count();
+        let mut dist = vec![u32::MAX; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for src in self.mesh.nodes() {
+            let row = &mut dist[src.index() * n..(src.index() + 1) * n];
+            row[src.index()] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(node) = queue.pop_front() {
+                let d = row[node.index()];
+                for dir in self.alive_dirs(node) {
+                    let nb = self.mesh.neighbor(node, dir).expect("alive link exists");
+                    if row[nb.index()] == u32::MAX {
+                        row[nb.index()] = d + 1;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// The underlying perfect topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The dead links.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Total node count (faults kill links, never nodes).
+    pub fn node_count(&self) -> usize {
+        self.mesh.node_count()
+    }
+
+    /// Whether the link out of `node` along `direction` is dead.
+    pub fn is_dead(&self, node: NodeId, direction: Direction) -> bool {
+        self.dead_ports[node.index()].contains(Port::from(direction))
+    }
+
+    /// The neighbor over a *surviving* link, or `None` when the link is
+    /// dead or absent (mesh edge).
+    pub fn neighbor(&self, node: NodeId, direction: Direction) -> Option<NodeId> {
+        if self.is_dead(node, direction) {
+            return None;
+        }
+        self.mesh.neighbor(node, direction)
+    }
+
+    /// The direction-ports of `node` with surviving links.
+    pub fn alive_ports(&self, node: NodeId) -> PortSet {
+        self.mesh
+            .direction_ports()
+            .filter(|p| {
+                let dir = p.direction().expect("direction port");
+                !self.is_dead(node, dir) && self.mesh.neighbor(node, dir).is_some()
+            })
+            .collect()
+    }
+
+    /// Directions of `node`'s surviving links.
+    fn alive_dirs(&self, node: NodeId) -> impl Iterator<Item = Direction> + '_ {
+        self.alive_ports(node).iter().filter_map(|p| p.direction())
+    }
+
+    /// Hop distance between two nodes over surviving links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let n = self.node_count();
+        assert!(a.index() < n && b.index() < n, "node out of range");
+        self.dist[a.index() * n + b.index()]
+    }
+
+    /// The surviving output ports that move a message strictly closer to
+    /// `dest` in the faulty graph — the fault-aware generalization of
+    /// [`Mesh::productive_ports`]. Empty exactly when `from == dest`.
+    pub fn productive_ports(&self, from: NodeId, dest: NodeId) -> PortSet {
+        if from == dest {
+            return PortSet::EMPTY;
+        }
+        let here = self.distance(from, dest);
+        let mut set = PortSet::EMPTY;
+        for dir in self.alive_dirs(from) {
+            let nb = self.mesh.neighbor(from, dir).expect("alive link exists");
+            if self.distance(nb, dest) + 1 == here {
+                set.insert(Port::from(dir));
+            }
+        }
+        set
+    }
+}
+
+impl fmt::Display for FaultyMesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} with {} dead link(s)", self.mesh, self.faults.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4() -> Mesh {
+        Mesh::mesh_2d(4, 4)
+    }
+
+    #[test]
+    fn empty_fault_set_reproduces_the_mesh() {
+        let mesh = mesh4();
+        let fmesh = FaultyMesh::new(mesh.clone(), FaultSet::empty()).unwrap();
+        for a in mesh.nodes() {
+            for b in mesh.nodes() {
+                assert_eq!(fmesh.distance(a, b), mesh.distance(a, b));
+                assert_eq!(
+                    fmesh.productive_ports(a, b),
+                    mesh.productive_ports(a, b),
+                    "{a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_link_is_symmetric_and_rerouted() {
+        let mesh = mesh4();
+        let a = mesh.id_at(&[1, 1]).unwrap();
+        let b = mesh.id_at(&[2, 1]).unwrap();
+        let faults = FaultSet::new(&mesh, &[(b, a)]).unwrap(); // order-insensitive
+        let fmesh = FaultyMesh::new(mesh, faults).unwrap();
+        assert!(fmesh.is_dead(a, Direction::plus(0)));
+        assert!(fmesh.is_dead(b, Direction::minus(0)));
+        assert_eq!(fmesh.neighbor(a, Direction::plus(0)), None);
+        assert_eq!(fmesh.distance(a, b), 3); // around the break
+        assert_eq!(fmesh.alive_ports(a).len(), 3);
+    }
+
+    #[test]
+    fn productive_ports_reduce_faulty_distance() {
+        let mesh = Mesh::mesh_2d(5, 5);
+        let faults = FaultSet::random(&mesh, 4, 7).unwrap();
+        let fmesh = FaultyMesh::new(mesh, faults).unwrap();
+        for a in fmesh.mesh().nodes() {
+            for b in fmesh.mesh().nodes() {
+                let ports = fmesh.productive_ports(a, b);
+                if a == b {
+                    assert!(ports.is_empty());
+                    continue;
+                }
+                assert!(!ports.is_empty(), "{a}->{b} has no productive port");
+                for p in ports.iter() {
+                    let nb = fmesh.neighbor(a, p.direction().unwrap()).unwrap();
+                    assert_eq!(fmesh.distance(nb, b) + 1, fmesh.distance(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_links_are_rejected() {
+        let mesh = mesh4();
+        let diag = (mesh.id_at(&[0, 0]).unwrap(), mesh.id_at(&[1, 1]).unwrap());
+        assert!(matches!(
+            FaultSet::new(&mesh, &[diag]),
+            Err(FaultError::NotALink { .. })
+        ));
+        // Self-pairs and out-of-range ids are not links either.
+        assert!(FaultSet::new(&mesh, &[(NodeId(3), NodeId(3))]).is_err());
+        assert!(FaultSet::new(&mesh, &[(NodeId(0), NodeId(99))]).is_err());
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mesh = mesh4();
+        let link = (NodeId(0), NodeId(1));
+        let err = FaultSet::new(&mesh, &[link, (NodeId(1), NodeId(0))]).unwrap_err();
+        assert!(matches!(err, FaultError::DuplicateLink { .. }), "{err}");
+    }
+
+    #[test]
+    fn partitioning_sets_are_rejected() {
+        // Cut the corner (0,0) off completely.
+        let mesh = mesh4();
+        let corner = mesh.id_at(&[0, 0]).unwrap();
+        let east = mesh.id_at(&[1, 0]).unwrap();
+        let north = mesh.id_at(&[0, 1]).unwrap();
+        let faults = FaultSet::new(&mesh, &[(corner, east), (corner, north)]).unwrap();
+        let err = FaultyMesh::new(mesh, faults).unwrap_err();
+        // BFS counts from node 0 — the very node that was cut off.
+        assert_eq!(
+            err,
+            FaultError::Disconnected {
+                reachable: 1,
+                nodes: 16
+            }
+        );
+        assert!(err.to_string().contains("disconnects"));
+    }
+
+    #[test]
+    fn random_sets_are_deterministic_connected_and_sized() {
+        let mesh = Mesh::mesh_2d(8, 8);
+        let a = FaultSet::random(&mesh, 6, 42).unwrap();
+        let b = FaultSet::random(&mesh, 6, 42).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let c = FaultSet::random(&mesh, 6, 43).unwrap();
+        assert_ne!(a, c, "different seeds should differ (w.h.p.)");
+        assert!(FaultyMesh::new(mesh, a).is_ok());
+    }
+
+    #[test]
+    fn impossible_random_counts_error() {
+        // A 2x2 mesh has 4 links and a spanning tree needs 3: at most one
+        // fault fits.
+        let mesh = Mesh::mesh_2d(2, 2);
+        assert!(FaultSet::random(&mesh, 1, 1).is_ok());
+        let err = FaultSet::random(&mesh, 2, 1).unwrap_err();
+        assert!(matches!(err, FaultError::TooManyFaults { placed: 1, .. }));
+    }
+
+    #[test]
+    fn torus_links_are_faultable() {
+        let torus = Mesh::torus_2d(4, 4);
+        // The wrap link between (0,0) and (3,0).
+        let a = torus.id_at(&[0, 0]).unwrap();
+        let b = torus.id_at(&[3, 0]).unwrap();
+        let faults = FaultSet::new(&torus, &[(a, b)]).unwrap();
+        let fmesh = FaultyMesh::new(torus, faults).unwrap();
+        assert!(fmesh.is_dead(a, Direction::minus(0)));
+        assert!(fmesh.is_dead(b, Direction::plus(0)));
+        assert_eq!(fmesh.distance(a, b), 3);
+    }
+
+    #[test]
+    fn three_d_faults_work() {
+        let mesh = Mesh::mesh_3d(3, 3, 3);
+        let faults = FaultSet::random(&mesh, 5, 9).unwrap();
+        let fmesh = FaultyMesh::new(mesh, faults).unwrap();
+        for a in fmesh.mesh().nodes() {
+            for b in fmesh.mesh().nodes() {
+                assert_ne!(fmesh.distance(a, b), u32::MAX, "{a}->{b} unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let mesh = mesh4();
+        let faults = FaultSet::new(&mesh, &[(NodeId(0), NodeId(1))]).unwrap();
+        assert_eq!(faults.to_string(), "{(n0, n1)}");
+        let fmesh = FaultyMesh::new(mesh, faults).unwrap();
+        assert_eq!(fmesh.to_string(), "4x4 mesh with 1 dead link(s)");
+    }
+}

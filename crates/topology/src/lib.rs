@@ -15,7 +15,11 @@
 //!   coordinate; the index type of the paper's 3ⁿ-entry economical-storage
 //!   routing table;
 //! * [`labeling`] — node-labeling schemes (row-major clusters vs square
-//!   blocks, Fig. 8) used by hierarchical meta-table routing.
+//!   blocks, Fig. 8) used by hierarchical meta-table routing;
+//! * [`FaultSet`] / [`FaultyMesh`] — validated dead-link sets and the
+//!   surviving-links view of a mesh, the substrate for up*/down* routing
+//!   around broken links (connectivity-checked; random sets are drawn
+//!   deterministically from a seed).
 //!
 //! # Example
 //!
@@ -35,11 +39,13 @@
 pub mod labeling;
 
 mod coord;
+mod fault;
 mod mesh;
 mod port;
 mod sign;
 
 pub use coord::{Coord, MAX_DIMS};
+pub use fault::{FaultError, FaultSet, FaultyMesh};
 pub use mesh::Mesh;
 pub use port::{Direction, Port, PortSet, Sign};
 pub use sign::SignVec;

@@ -157,11 +157,19 @@ impl std::error::Error for TraceError {}
 impl Trace {
     /// Parses and validates trace text against a topology of `node_count`
     /// nodes. Returns the first problem found, with its line number.
+    ///
+    /// Line endings are forgiving: LF and CRLF both work (including a
+    /// carriage return left dangling at end-of-file), and the final line
+    /// needs no trailing newline — traces edited on any platform load.
     pub fn parse(text: &str, node_count: u32) -> Result<Trace, TraceError> {
         let mut events = Vec::new();
         let mut previous = 0u64;
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
+            // `str::lines` strips `\r\n` pairs but keeps a bare trailing
+            // `\r` (a CRLF file truncated before its final LF); drop it
+            // explicitly so it can never leak into the last field.
+            let raw = raw.strip_suffix('\r').unwrap_or(raw);
             let body = raw.split('#').next().unwrap_or("").trim();
             if body.is_empty() {
                 continue;
@@ -184,32 +192,7 @@ impl Trace {
             let src = number("src", fields[1])?;
             let dest = number("dst", fields[2])?;
             let length = number("len", fields[3])?;
-            for (field, node) in [("src", src), ("dst", dest)] {
-                if node >= node_count as u64 {
-                    return Err(TraceError::NodeOutOfRange {
-                        line,
-                        field,
-                        node,
-                        node_count,
-                    });
-                }
-            }
-            if src == dest {
-                return Err(TraceError::SelfTarget {
-                    line,
-                    node: src as u32,
-                });
-            }
-            if length == 0 {
-                return Err(TraceError::ZeroLength { line });
-            }
-            if cycle < previous {
-                return Err(TraceError::NonMonotonic {
-                    line,
-                    cycle,
-                    previous,
-                });
-            }
+            validate_record(line, node_count, previous, cycle, src, dest, length)?;
             previous = cycle;
             events.push(TraceEvent {
                 cycle,
@@ -217,6 +200,30 @@ impl Trace {
                 dest: dest as u32,
                 length: length as u32,
             });
+        }
+        if events.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        Ok(Trace { node_count, events })
+    }
+
+    /// Builds a validated trace directly from recorded events — the
+    /// capture-sink path, enforcing the same invariants as
+    /// [`Trace::parse`] (shared via [`validate_record`]). Error "line"
+    /// numbers are 1-based event indices.
+    pub fn from_events(node_count: u32, events: Vec<TraceEvent>) -> Result<Trace, TraceError> {
+        let mut previous = 0u64;
+        for (idx, e) in events.iter().enumerate() {
+            validate_record(
+                idx + 1,
+                node_count,
+                previous,
+                e.cycle,
+                e.src as u64,
+                e.dest as u64,
+                e.length as u64,
+            )?;
+            previous = e.cycle;
         }
         if events.is_empty() {
             return Err(TraceError::Empty);
@@ -262,6 +269,48 @@ impl Trace {
         }
         out
     }
+}
+
+/// The per-record invariants shared by [`Trace::parse`] and
+/// [`Trace::from_events`] — one source of truth so the text loader and
+/// the capture sink can never drift. Node ids stay `u64` so the loader
+/// reports out-of-range values exactly as written (no silent `u32` wrap).
+fn validate_record(
+    line: usize,
+    node_count: u32,
+    previous: u64,
+    cycle: u64,
+    src: u64,
+    dest: u64,
+    length: u64,
+) -> Result<(), TraceError> {
+    for (field, node) in [("src", src), ("dst", dest)] {
+        if node >= node_count as u64 {
+            return Err(TraceError::NodeOutOfRange {
+                line,
+                field,
+                node,
+                node_count,
+            });
+        }
+    }
+    if src == dest {
+        return Err(TraceError::SelfTarget {
+            line,
+            node: src as u32,
+        });
+    }
+    if length == 0 {
+        return Err(TraceError::ZeroLength { line });
+    }
+    if cycle < previous {
+        return Err(TraceError::NonMonotonic {
+            line,
+            cycle,
+            previous,
+        });
+    }
+    Ok(())
 }
 
 /// Replays a [`Trace`], node by node, through the [`Workload`] interface.

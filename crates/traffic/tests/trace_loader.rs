@@ -149,6 +149,84 @@ fn empty_and_comment_only_traces_are_rejected() {
 }
 
 #[test]
+fn final_line_without_trailing_newline_parses() {
+    let t = Trace::parse("0 0 1 5\n4 1 0 20", 16).unwrap();
+    assert_eq!(t.len(), 2);
+    assert_eq!(t.events()[1].cycle, 4);
+    assert_eq!(t.events()[1].length, 20);
+}
+
+#[test]
+fn crlf_line_endings_parse() {
+    let t = Trace::parse("# exported on Windows\r\n0 0 1 5\r\n4 1 0 20\r\n", 16).unwrap();
+    assert_eq!(t.len(), 2);
+    // CRLF with the final LF missing: the dangling \r must not corrupt
+    // the last field.
+    let t = Trace::parse("0 0 1 5\r\n4 1 0 20\r", 16).unwrap();
+    assert_eq!(t.len(), 2);
+    assert_eq!(t.events()[1].length, 20);
+    // CRLF + inline comments compose.
+    let t = Trace::parse("0 0 1 5 # first\r\n4 1 0 20\r\n", 16).unwrap();
+    assert_eq!(t.len(), 2);
+}
+
+#[test]
+fn crlf_and_lf_parse_identically() {
+    let lf = "0 0 1 5\n4 1 0 20\n9 2 3 1\n";
+    let crlf = lf.replace('\n', "\r\n");
+    assert_eq!(
+        Trace::parse(lf, 16).unwrap(),
+        Trace::parse(&crlf, 16).unwrap()
+    );
+    // And the no-final-newline variants of both.
+    assert_eq!(
+        Trace::parse(lf.trim_end(), 16).unwrap(),
+        Trace::parse(crlf.trim_end(), 16).unwrap()
+    );
+}
+
+#[test]
+fn from_events_round_trips_and_validates() {
+    use lapses_traffic::TraceEvent;
+    let parsed = Trace::parse("0 0 1 5\n4 1 0 20\n", 16).unwrap();
+    let built = Trace::from_events(16, parsed.events().to_vec()).unwrap();
+    assert_eq!(parsed, built);
+
+    let bad = |events: Vec<TraceEvent>| Trace::from_events(16, events).unwrap_err();
+    assert_eq!(bad(Vec::new()), TraceError::Empty);
+    let ev = |cycle, src, dest, length| TraceEvent {
+        cycle,
+        src,
+        dest,
+        length,
+    };
+    assert_eq!(
+        bad(vec![ev(0, 7, 7, 5)]),
+        TraceError::SelfTarget { line: 1, node: 7 }
+    );
+    assert_eq!(
+        bad(vec![ev(0, 0, 1, 0)]),
+        TraceError::ZeroLength { line: 1 }
+    );
+    assert_eq!(
+        bad(vec![ev(5, 0, 1, 5), ev(3, 1, 0, 5)]),
+        TraceError::NonMonotonic {
+            line: 2,
+            cycle: 3,
+            previous: 5
+        }
+    );
+    assert!(matches!(
+        bad(vec![ev(0, 99, 1, 5)]),
+        TraceError::NodeOutOfRange {
+            line: 1,
+            field: "src",
+            ..
+        }
+    ));
+}
+
+#[test]
 fn missing_file_is_an_io_error() {
     let err = Trace::load("/nonexistent/definitely-not-here.trace", 16).unwrap_err();
     assert!(matches!(&err, TraceError::Io { .. }), "{err:?}");

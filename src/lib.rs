@@ -12,9 +12,10 @@
 //! * [`sim`] — simulation kernel: clock, statistics, RNG, measurement
 //!   protocol, saturation watchdog;
 //! * [`topology`] — n-dimensional meshes and tori, ports, sign vectors,
-//!   cluster labelings;
-//! * [`routing`] — XY / Duato / turn-model routing relations and
-//!   channel-dependency-graph deadlock analysis;
+//!   cluster labelings, and validated faulty-link views;
+//! * [`routing`] — XY / Duato / turn-model / up*/down* routing relations
+//!   and channel-dependency-graph deadlock analysis (faulty instances
+//!   included);
 //! * [`traffic`] — the paper's four synthetic patterns (plus extras),
 //!   arrival processes, message-length distributions;
 //! * [`core`] — **the paper's contribution**: the PROUD and LA-PROUD
@@ -51,13 +52,38 @@
 //! pattern × arrival-process generator above, an ON/OFF bursty source
 //! (`.bursty(burst_len, peak_gap)`), or replay of a recorded
 //! `cycle src dst len` text trace (`.trace(...)`,
-//! [`traffic::Trace`]). Validation catches inconsistent compositions —
-//! escape-VC shortages, turn models on tori, impossible burst shapes —
-//! as typed errors instead of mid-run panics.
+//! [`traffic::Trace`]). Any run can *record* such a trace while it
+//! executes ([`network::SimConfig::run_capturing`]) — a captured
+//! synthetic run replayed as a trace is bit-identical. Validation
+//! catches inconsistent compositions — escape-VC shortages, turn models
+//! on tori, impossible burst shapes, invalid fault sets — as typed
+//! errors instead of mid-run panics.
+//!
+//! Topologies need not be perfect: kill links (explicitly or as a seeded
+//! random draw) and route around them with the up*/down* family
+//! ([`routing::UpDown`]), whose escape network is proven deadlock-free
+//! per instance by the channel-dependency-graph machinery. Faults
+//! compile down to table contents and candidate masks — the cycle loop
+//! never sees them:
+//!
+//! ```
+//! use lapses::prelude::*;
+//!
+//! let result = Scenario::builder()
+//!     .mesh_2d(4, 4)
+//!     .faults(&[(5, 6)])                    // kill the (1,1)-(2,1) link
+//!     .algorithm(Algorithm::UpDownAdaptive) // minimal adaptive over up*/down*
+//!     .load(0.15)
+//!     .message_counts(50, 300)
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! assert!(!result.saturated);
+//! ```
 //!
 //! Whole figures are grids of scenarios swept along
 //! [`ScenarioAxis`](network::ScenarioAxis) dimensions (load, burst
-//! length, algorithm, topology extent);
+//! length, algorithm, topology extent, fault density);
 //! [`SweepRunner`](network::SweepRunner) executes a grid on every core
 //! and aggregates a [`SweepReport`](network::SweepReport) that is
 //! bit-identical to a single-threaded run of the same master seed:
@@ -152,12 +178,12 @@ pub mod prelude {
     };
     pub use lapses_core::{PipelineModel, RouterConfig};
     pub use lapses_network::{
-        Algorithm, ArrivalKind, CutoffPolicy, Pattern, Scenario, ScenarioAxis, ScenarioBuilder,
-        ScenarioError, ScenarioSpec, SimConfig, SimResult, SpecError, SweepGrid, SweepReport,
-        SweepRunner, TableKind, WorkloadKind,
+        Algorithm, ArrivalKind, CutoffPolicy, FaultsConfig, Pattern, Scenario, ScenarioAxis,
+        ScenarioBuilder, ScenarioError, ScenarioSpec, SimConfig, SimResult, SpecError, SweepGrid,
+        SweepReport, SweepRunner, TableKind, WorkloadKind,
     };
-    pub use lapses_routing::{DimensionOrder, DuatoAdaptive, RoutingAlgorithm};
+    pub use lapses_routing::{DimensionOrder, DuatoAdaptive, RoutingAlgorithm, UpDown};
     pub use lapses_sim::{Cycle, SimRng};
-    pub use lapses_topology::{Mesh, NodeId, Port, PortSet};
+    pub use lapses_topology::{FaultError, FaultSet, FaultyMesh, Mesh, NodeId, Port, PortSet};
     pub use lapses_traffic::{LengthDistribution, Trace, TraceWorkload, TrafficPattern, Workload};
 }

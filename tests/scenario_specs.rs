@@ -28,8 +28,13 @@ fn committed_specs_exist_and_cover_every_workload_family() {
         .iter()
         .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
         .collect();
-    assert!(names.len() >= 3, "specs: {names:?}");
-    for expected in ["quickstart.scn", "bursty.scn", "trace_replay.scn"] {
+    assert!(names.len() >= 4, "specs: {names:?}");
+    for expected in [
+        "quickstart.scn",
+        "bursty.scn",
+        "trace_replay.scn",
+        "faulty_mesh.scn",
+    ] {
         assert!(names.iter().any(|n| n == expected), "missing {expected}");
     }
 }
@@ -69,6 +74,20 @@ fn committed_specs_validate_into_scenarios() {
             path.display()
         );
     }
+}
+
+#[test]
+fn faulty_spec_runs_to_drain() {
+    let path = committed_specs()
+        .into_iter()
+        .find(|p| p.file_name().unwrap() == "faulty_mesh.scn")
+        .expect("faulty spec is committed");
+    let spec = ScenarioSpec::load(&path).unwrap();
+    assert!(matches!(spec.faults, FaultsConfig::Links(ref l) if l.len() == 3));
+    assert_eq!(spec.algorithm, Algorithm::UpDownAdaptive);
+    let result = spec.to_scenario(path.parent().unwrap()).unwrap().run();
+    assert!(!result.saturated);
+    assert_eq!(result.messages, 2_000);
 }
 
 #[test]
